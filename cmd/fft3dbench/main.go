@@ -1,0 +1,87 @@
+// Command fft3dbench reproduces Table I: forward+backward 3D FFT time for
+// 128³/64³/32³ grids on 64-1024 BG/Q nodes, comparing Charm++
+// point-to-point transposes against the CmiDirectManytomany interface.
+//
+// The BG/Q-scale table comes from the calibrated machine model. Pass
+// -native to also run the real distributed FFT engine in-process on a
+// small grid with both transports (verifying correctness and showing the
+// wall-clock m2m advantage on the host).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"blueq/internal/charm"
+	"blueq/internal/cluster"
+	"blueq/internal/converse"
+	"blueq/internal/fft3d"
+	"blueq/internal/m2m"
+	"blueq/internal/stats"
+)
+
+func main() {
+	native := flag.Bool("native", false, "also run the native in-process distributed FFT")
+	grid := flag.Int("grid", 16, "native grid edge")
+	iters := flag.Int("iters", 5, "native iterations")
+	flag.Parse()
+
+	fmt.Println(cluster.BGQ().TableI())
+
+	if *native {
+		tab := stats.NewTable(
+			fmt.Sprintf("native %d³ fwd+bwd 3D FFT on 8 PEs (wall clock, host-dependent)", *grid),
+			"transport", "ms/step", "round-trip err")
+		for _, tr := range []fft3d.Transport{fft3d.P2P, fft3d.M2M} {
+			dur, rterr, err := nativeFFT(*grid, tr, *iters)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			tab.AddRow(tr.String(), dur.Seconds()*1e3, fmt.Sprintf("%.2e", rterr))
+		}
+		fmt.Println(tab)
+	}
+}
+
+func nativeFFT(n int, tr fft3d.Transport, iters int) (time.Duration, float64, error) {
+	rt, err := charm.NewRuntime(converse.Config{
+		Nodes: 2, WorkersPerNode: 4, Mode: converse.ModeSMPComm, CommThreads: 1,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var mgr *m2m.Manager
+	if tr == fft3d.M2M {
+		mgr = m2m.NewManager(rt.Machine())
+	}
+	eng, err := fft3d.New(rt, mgr, fft3d.Config{
+		NX: n, NY: n, NZ: n, Transport: tr,
+		Input: func(x, y, z int) complex128 {
+			return complex(float64((x+2*y+3*z)%7)-3, 0)
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var start time.Time
+	var elapsed time.Duration
+	eng.SetOnComplete(func(pe *converse.PE, iter int) {
+		if iter >= iters {
+			elapsed = time.Since(start)
+			rt.Shutdown()
+			return
+		}
+		if err := eng.Start(pe); err != nil {
+			rt.Shutdown()
+		}
+	})
+	rt.Run(func(pe *converse.PE) {
+		start = time.Now()
+		if err := eng.Start(pe); err != nil {
+			rt.Shutdown()
+		}
+	})
+	return elapsed / time.Duration(iters), eng.RoundTripError(), nil
+}

@@ -1,0 +1,74 @@
+// Command pingpong reproduces Figs. 4 and 5: Converse ping-pong latency
+// between neighbouring nodes (three runtime modes) and within a node.
+//
+// The BG/Q latencies come from the calibrated machine model; pass -native
+// to additionally run a wall-clock ping-pong over the in-process functional
+// runtime (absolute numbers then reflect the host, not BG/Q, but the mode
+// mechanics are executed for real).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"blueq/internal/cluster"
+	"blueq/internal/converse"
+)
+
+func main() {
+	native := flag.Bool("native", false, "also run the native in-process ping-pong")
+	rounds := flag.Int("rounds", 2000, "native ping-pong rounds")
+	flag.Parse()
+
+	m := cluster.BGQ()
+	fmt.Println(m.Fig4(nil))
+	fmt.Println(m.Fig5(nil))
+
+	if *native {
+		fmt.Println("native in-process ping-pong (wall clock, host-dependent):")
+		for _, mode := range []converse.Mode{converse.ModeNonSMP, converse.ModeSMP, converse.ModeSMPComm} {
+			lat, err := nativePingPong(mode, *rounds)
+			if err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			fmt.Printf("  %-9s %8.2f us one-way\n", mode, lat.Seconds()*1e6)
+		}
+	}
+}
+
+// nativePingPong bounces a message between PEs on two simulated nodes and
+// returns the mean one-way latency.
+func nativePingPong(mode converse.Mode, rounds int) (time.Duration, error) {
+	cfg := converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: mode}
+	machine, err := converse.NewMachine(cfg)
+	if err != nil {
+		return 0, err
+	}
+	var h int
+	var start time.Time
+	var elapsed time.Duration
+	h = machine.RegisterHandler(func(pe *converse.PE, msg *converse.Message) {
+		n := msg.Payload.(int)
+		if n >= rounds {
+			elapsed = time.Since(start)
+			machine.Shutdown()
+			return
+		}
+		dst := 0
+		if pe.Id() == 0 {
+			dst = pe.NumPEs() - 1
+		}
+		if err := pe.Send(dst, &converse.Message{Handler: h, Bytes: 32, Payload: n + 1}); err != nil {
+			machine.Shutdown()
+		}
+	})
+	machine.Run(func(pe *converse.PE) {
+		if pe.Id() == 0 {
+			start = time.Now()
+			_ = pe.Send(pe.NumPEs()-1, &converse.Message{Handler: h, Bytes: 32, Payload: 0})
+		}
+	})
+	return elapsed / time.Duration(rounds), nil
+}

@@ -1,0 +1,3 @@
+module blueq
+
+go 1.22

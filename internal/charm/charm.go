@@ -1,0 +1,392 @@
+// Package charm implements the Charm++ programming model on top of the
+// Converse runtime: chare arrays and groups communicating by asynchronous
+// entry-method invocation, reductions, broadcasts, quiescence detection and
+// measurement-based load balancing (paper §I, §III).
+//
+// Application computation lives in *elements* of chare arrays (or groups,
+// one element per PE). Elements are plain Go values built by a factory; the
+// runtime maps array elements to PEs and re-maps them under the load
+// balancer, relieving the programmer of placement — the core promise of the
+// model. Entry methods are asynchronous: a Send enqueues a message on the
+// destination PE's scheduler, which invokes the method when it reaches the
+// front of the queue.
+package charm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"blueq/internal/converse"
+)
+
+// Runtime is a Charm++ runtime instance over a Converse machine.
+type Runtime struct {
+	machine *converse.Machine
+	handler int
+
+	mu      sync.Mutex
+	arrays  []*Array
+	groups  []*Group
+	started atomic.Bool
+
+	// message accounting for quiescence detection
+	sent atomic.Int64
+	done atomic.Int64
+}
+
+// charmMsg is the wire format of an entry-method invocation.
+type charmMsg struct {
+	kind  msgKind
+	array int // array or group id
+	idx   int
+	entry int
+	data  any
+}
+
+type msgKind uint8
+
+const (
+	kindArray msgKind = iota
+	kindGroup
+	kindReduction
+)
+
+// NewRuntime creates a runtime over a fresh Converse machine with the given
+// configuration. Arrays, groups and entry methods must be declared before
+// Start/Run.
+func NewRuntime(cfg converse.Config) (*Runtime, error) {
+	m, err := converse.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{machine: m}
+	rt.handler = m.RegisterHandler(rt.dispatch)
+	return rt, nil
+}
+
+// Machine exposes the underlying Converse machine.
+func (rt *Runtime) Machine() *converse.Machine { return rt.machine }
+
+// NumPEs returns the total worker PE count.
+func (rt *Runtime) NumPEs() int { return rt.machine.NumPEs() }
+
+// Run starts the runtime, invokes main on PE 0 (the mainchare), and blocks
+// until Shutdown. Element factories run on each element's home PE before
+// main executes anywhere.
+func (rt *Runtime) Run(main func(pe *converse.PE)) {
+	if !rt.started.CompareAndSwap(false, true) {
+		panic("charm: Run called twice")
+	}
+	var ready sync.WaitGroup
+	ready.Add(rt.machine.NumPEs())
+	rt.machine.Run(func(pe *converse.PE) {
+		for _, a := range rt.arrays {
+			a.instantiateLocal(pe)
+		}
+		for _, g := range rt.groups {
+			g.instantiateLocal(pe)
+		}
+		ready.Done()
+		ready.Wait() // all elements exist before any entry method fires
+		if pe.Id() == 0 && main != nil {
+			main(pe)
+		}
+	})
+}
+
+// Shutdown stops all schedulers (CkExit).
+func (rt *Runtime) Shutdown() { rt.machine.Shutdown() }
+
+// dispatch is the single Converse handler: it routes messages to entry
+// methods and accounts completion for quiescence detection.
+func (rt *Runtime) dispatch(pe *converse.PE, msg *converse.Message) {
+	cm := msg.Payload.(charmMsg)
+	switch cm.kind {
+	case kindArray:
+		rt.arrays[cm.array].deliver(pe, cm, msg.Bytes)
+	case kindGroup:
+		rt.groups[cm.array].deliver(pe, cm)
+	case kindReduction:
+		rt.arrays[cm.array].reduceArrive(pe, cm.data.(*reductionContribution))
+	}
+	rt.done.Add(1)
+}
+
+func (rt *Runtime) send(pe *converse.PE, dstPE int, cm charmMsg, bytes, prio int) error {
+	rt.sent.Add(1)
+	return pe.Send(dstPE, &converse.Message{Handler: rt.handler, Bytes: bytes, Prio: prio, Payload: cm})
+}
+
+// ---------------------------------------------------------------------------
+// Chare arrays
+
+// Element is an array element: any Go value constructed by the array
+// factory. Elements needing their index or runtime capture them in the
+// factory closure.
+type Element any
+
+// EntryFn is an entry method of an array: invoked on the element's home PE
+// with the element, its index and the message payload.
+type EntryFn func(pe *converse.PE, elem Element, idx int, payload any)
+
+// Array is a 1D chare array of n elements. Multidimensional arrays use the
+// Index2D/Index3D encodings.
+type Array struct {
+	rt      *Runtime
+	id      int
+	name    string
+	n       int
+	factory func(idx int) Element
+	entries []EntryFn
+
+	// home[i] is the PE owning element i; guarded by homeMu for migration.
+	homeMu sync.RWMutex
+	home   []int32
+
+	// elems[i] is non-nil on the home PE (single address space: the slice
+	// is global, ownership is logical).
+	elems []Element
+
+	// per-element execution time in arbitrary units, for the load balancer.
+	loadMu sync.Mutex
+	load   []float64
+
+	red reductionState
+}
+
+// NewArray declares an array before the runtime starts. The factory is
+// invoked once per element on its home PE during startup. Elements are
+// placed with the default block map.
+func (rt *Runtime) NewArray(name string, n int, factory func(idx int) Element) *Array {
+	npes := rt.machine.NumPEs()
+	return rt.NewArrayPlaced(name, n, factory, func(idx int) int {
+		return blockMap(idx, n, npes)
+	})
+}
+
+// NewArrayPlaced declares an array with a custom initial element-to-PE
+// map (CkArrayMap). Topology-aware placements — e.g. torus.Map3D folded
+// through node ranks — plug in here; the load balancer may still migrate
+// elements later.
+func (rt *Runtime) NewArrayPlaced(name string, n int, factory func(idx int) Element, place func(idx int) int) *Array {
+	if rt.started.Load() {
+		panic("charm: NewArray after Run")
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("charm: array %q with %d elements", name, n))
+	}
+	a := &Array{
+		rt: rt, name: name, n: n, factory: factory,
+		home:  make([]int32, n),
+		elems: make([]Element, n),
+		load:  make([]float64, n),
+	}
+	npes := rt.machine.NumPEs()
+	for i := 0; i < n; i++ {
+		pe := place(i)
+		if pe < 0 || pe >= npes {
+			panic(fmt.Sprintf("charm: array %q placement maps element %d to PE %d of %d", name, i, pe, npes))
+		}
+		a.home[i] = int32(pe)
+	}
+	rt.mu.Lock()
+	a.id = len(rt.arrays)
+	rt.arrays = append(rt.arrays, a)
+	rt.mu.Unlock()
+	return a
+}
+
+// TopoPlace3D returns a placement function for a bx×by×bz logical block
+// array on this runtime: blocks map to topologically nearby nodes via the
+// machine torus (paper §VII's planned topological placement), then to a
+// PE within the node round-robin.
+func (rt *Runtime) TopoPlace3D(bx, by, bz int) func(idx int) int {
+	tor := rt.machine.Torus()
+	nodeOf := tor.Map3D(bx, by, bz)
+	workers := rt.machine.NumPEs() / rt.machine.NumNodes()
+	counters := make([]int, rt.machine.NumNodes())
+	place := make([]int, bx*by*bz)
+	for i := range place {
+		node := nodeOf[i]
+		place[i] = node*workers + counters[node]%workers
+		counters[node]++
+	}
+	return func(idx int) int { return place[idx] }
+}
+
+// blockMap is the default block placement: contiguous ranges of elements
+// per PE.
+func blockMap(idx, n, npes int) int {
+	pe := idx * npes / n
+	if pe >= npes {
+		pe = npes - 1
+	}
+	return pe
+}
+
+// Name returns the array's name.
+func (a *Array) Name() string { return a.name }
+
+// Len returns the number of elements.
+func (a *Array) Len() int { return a.n }
+
+// Entry registers an entry method and returns its id. Must be called
+// before Run; ids are dense from zero.
+func (a *Array) Entry(fn EntryFn) int {
+	if a.rt.started.Load() {
+		panic("charm: Entry after Run")
+	}
+	a.entries = append(a.entries, fn)
+	return len(a.entries) - 1
+}
+
+// HomePE returns the PE currently owning element idx.
+func (a *Array) HomePE(idx int) int {
+	a.homeMu.RLock()
+	defer a.homeMu.RUnlock()
+	return int(a.home[idx])
+}
+
+// instantiateLocal constructs the elements homed on pe.
+func (a *Array) instantiateLocal(pe *converse.PE) {
+	for i := 0; i < a.n; i++ {
+		if int(a.home[i]) == pe.Id() {
+			a.elems[i] = a.factory(i)
+		}
+	}
+}
+
+// Element returns element idx; valid on its home PE (and, in this
+// single-process model, anywhere for read-only inspection in tests).
+func (a *Array) Element(idx int) Element { return a.elems[idx] }
+
+// Send asynchronously invokes entry on element idx with the given payload.
+// bytes is the modelled message size.
+func (a *Array) Send(pe *converse.PE, idx, entry int, payload any, bytes int) error {
+	if idx < 0 || idx >= a.n {
+		return fmt.Errorf("charm: array %q index %d out of range [0,%d)", a.name, idx, a.n)
+	}
+	if entry < 0 || entry >= len(a.entries) {
+		return fmt.Errorf("charm: array %q entry %d unknown", a.name, entry)
+	}
+	return a.rt.send(pe, a.HomePE(idx), charmMsg{kind: kindArray, array: a.id, idx: idx, entry: entry, data: payload}, bytes, 0)
+}
+
+// SendPrio is Send with an explicit scheduler priority (lower first).
+func (a *Array) SendPrio(pe *converse.PE, idx, entry int, payload any, bytes, prio int) error {
+	if idx < 0 || idx >= a.n {
+		return fmt.Errorf("charm: array %q index %d out of range [0,%d)", a.name, idx, a.n)
+	}
+	return a.rt.send(pe, a.HomePE(idx), charmMsg{kind: kindArray, array: a.id, idx: idx, entry: entry, data: payload}, bytes, prio)
+}
+
+// Broadcast invokes entry on every element of the array.
+func (a *Array) Broadcast(pe *converse.PE, entry int, payload any, bytes int) error {
+	for i := 0; i < a.n; i++ {
+		if err := a.Send(pe, i, entry, payload, bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliver runs the entry method on the element's home PE. A message that
+// raced with a migration and landed on the old home is forwarded, so an
+// element only ever executes on its current home — preserving Charm++'s
+// guarantee that one element never runs on two PEs at once.
+func (a *Array) deliver(pe *converse.PE, cm charmMsg, bytes int) {
+	if home := a.HomePE(cm.idx); home != pe.Id() {
+		if err := a.rt.send(pe, home, cm, bytes, 0); err != nil {
+			panic(fmt.Sprintf("charm: forwarding to migrated element failed: %v", err))
+		}
+		return
+	}
+	a.entries[cm.entry](pe, a.elems[cm.idx], cm.idx, cm.data)
+}
+
+// AddLoad records measured work (arbitrary units, e.g. seconds) for element
+// idx, feeding the measurement-based load balancer.
+func (a *Array) AddLoad(idx int, amount float64) {
+	a.loadMu.Lock()
+	a.load[idx] += amount
+	a.loadMu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Groups: one element per PE (Charm++ groups / node groups)
+
+// GroupEntryFn is an entry method of a group.
+type GroupEntryFn func(pe *converse.PE, elem Element, payload any)
+
+// Group has exactly one element on every PE; sends address PEs directly.
+// The Charm++ machine-level libraries (FFT, PME) are built as groups.
+type Group struct {
+	rt      *Runtime
+	id      int
+	name    string
+	factory func(pe int) Element
+	entries []GroupEntryFn
+	elems   []Element
+}
+
+// NewGroup declares a group before the runtime starts.
+func (rt *Runtime) NewGroup(name string, factory func(pe int) Element) *Group {
+	if rt.started.Load() {
+		panic("charm: NewGroup after Run")
+	}
+	g := &Group{rt: rt, name: name, factory: factory, elems: make([]Element, rt.machine.NumPEs())}
+	rt.mu.Lock()
+	g.id = len(rt.groups)
+	rt.groups = append(rt.groups, g)
+	rt.mu.Unlock()
+	return g
+}
+
+// Entry registers a group entry method.
+func (g *Group) Entry(fn GroupEntryFn) int {
+	if g.rt.started.Load() {
+		panic("charm: Entry after Run")
+	}
+	g.entries = append(g.entries, fn)
+	return len(g.entries) - 1
+}
+
+func (g *Group) instantiateLocal(pe *converse.PE) {
+	g.elems[pe.Id()] = g.factory(pe.Id())
+}
+
+// Local returns the group element of the given PE.
+func (g *Group) Local(pe *converse.PE) Element { return g.elems[pe.Id()] }
+
+// ElementOn returns the group element on PE id (test/readonly use).
+func (g *Group) ElementOn(pe int) Element { return g.elems[pe] }
+
+// Send asynchronously invokes entry on the group element of dstPE.
+func (g *Group) Send(pe *converse.PE, dstPE, entry int, payload any, bytes int) error {
+	if entry < 0 || entry >= len(g.entries) {
+		return fmt.Errorf("charm: group %q entry %d unknown", g.name, entry)
+	}
+	return g.rt.send(pe, dstPE, charmMsg{kind: kindGroup, array: g.id, entry: entry, data: payload}, bytes, 0)
+}
+
+// Broadcast invokes entry on every PE's element, travelling the Converse
+// spanning tree rather than fanning out from the caller. The payload is
+// shared across deliveries and must be treated as read-only.
+func (g *Group) Broadcast(pe *converse.PE, entry int, payload any, bytes int) error {
+	if entry < 0 || entry >= len(g.entries) {
+		return fmt.Errorf("charm: group %q entry %d unknown", g.name, entry)
+	}
+	// One logical send per PE for quiescence accounting; each tree
+	// delivery increments the executed counter once.
+	g.rt.sent.Add(int64(g.rt.machine.NumPEs()))
+	return pe.Broadcast(&converse.Message{
+		Handler: g.rt.handler,
+		Bytes:   bytes,
+		Payload: charmMsg{kind: kindGroup, array: g.id, entry: entry, data: payload},
+	})
+}
+
+func (g *Group) deliver(pe *converse.PE, cm charmMsg) {
+	g.entries[cm.entry](pe, g.elems[pe.Id()], cm.data)
+}

@@ -1,0 +1,186 @@
+package charm
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// The measurement-based load balancers re-map array elements to PEs from
+// the per-element load recorded with AddLoad. In Charm++ the LB runs at a
+// barrier; callers here invoke Rebalance while the array is quiescent (no
+// in-flight messages to its elements), e.g. between application phases.
+
+// LBStrategy selects the placement algorithm.
+type LBStrategy int
+
+const (
+	// GreedyLB sorts elements by descending load and assigns each to the
+	// least-loaded PE (Charm++'s GreedyLB).
+	GreedyLB LBStrategy = iota
+	// RefineLB moves elements off overloaded PEs onto underloaded ones
+	// until within tolerance, minimizing migrations (Charm++'s RefineLB).
+	RefineLB
+)
+
+// LBResult reports what a rebalance did.
+type LBResult struct {
+	Migrations int
+	// MaxLoad and AvgLoad are the post-balance per-PE loads.
+	MaxLoad, AvgLoad float64
+}
+
+// peLoad is a heap entry for greedy assignment.
+type peLoad struct {
+	pe   int
+	load float64
+}
+type peLoadHeap []peLoad
+
+func (h peLoadHeap) Len() int           { return len(h) }
+func (h peLoadHeap) Less(i, j int) bool { return h[i].load < h[j].load }
+func (h peLoadHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *peLoadHeap) Push(x any)        { *h = append(*h, x.(peLoad)) }
+func (h *peLoadHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Rebalance recomputes the element-to-PE map from recorded loads and
+// migrates elements (their state moves by pointer in this single-process
+// model; the home table redirects subsequent sends). Recorded loads are
+// cleared afterwards, starting a fresh measurement window.
+func (a *Array) Rebalance(strategy LBStrategy) LBResult {
+	a.loadMu.Lock()
+	loads := append([]float64(nil), a.load...)
+	for i := range a.load {
+		a.load[i] = 0
+	}
+	a.loadMu.Unlock()
+
+	a.homeMu.Lock()
+	defer a.homeMu.Unlock()
+	npes := a.rt.machine.NumPEs()
+	oldHome := append([]int32(nil), a.home...)
+	var newHome []int32
+	switch strategy {
+	case RefineLB:
+		newHome = refinePlacement(loads, oldHome, npes)
+	default:
+		newHome = greedyPlacement(loads, npes)
+	}
+
+	res := LBResult{}
+	perPE := make([]float64, npes)
+	for i, h := range newHome {
+		perPE[h] += loads[i]
+		if h != oldHome[i] {
+			res.Migrations++
+		}
+		a.home[i] = h
+	}
+	for _, l := range perPE {
+		res.AvgLoad += l
+		if l > res.MaxLoad {
+			res.MaxLoad = l
+		}
+	}
+	res.AvgLoad /= float64(npes)
+	return res
+}
+
+// greedyPlacement implements GreedyLB: heaviest element to least-loaded PE.
+func greedyPlacement(loads []float64, npes int) []int32 {
+	order := make([]int, len(loads))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return loads[order[x]] > loads[order[y]] })
+	h := make(peLoadHeap, npes)
+	for p := 0; p < npes; p++ {
+		h[p] = peLoad{pe: p}
+	}
+	heap.Init(&h)
+	home := make([]int32, len(loads))
+	for _, idx := range order {
+		best := heap.Pop(&h).(peLoad)
+		home[idx] = int32(best.pe)
+		best.load += loads[idx]
+		heap.Push(&h, best)
+	}
+	return home
+}
+
+// refinePlacement implements RefineLB: keep the existing map, then move the
+// lightest suitable elements off the most loaded PEs until every PE is
+// within 5% of average (or no move helps).
+func refinePlacement(loads []float64, oldHome []int32, npes int) []int32 {
+	home := append([]int32(nil), oldHome...)
+	perPE := make([]float64, npes)
+	byPE := make([][]int, npes)
+	total := 0.0
+	for i, h := range home {
+		perPE[h] += loads[i]
+		byPE[h] = append(byPE[h], i)
+		total += loads[i]
+	}
+	avg := total / float64(npes)
+	threshold := avg * 1.05
+	for iter := 0; iter < len(loads); iter++ {
+		// Find the most overloaded PE above threshold.
+		src := -1
+		for p := 0; p < npes; p++ {
+			if perPE[p] > threshold && (src < 0 || perPE[p] > perPE[src]) {
+				src = p
+			}
+		}
+		if src < 0 {
+			break
+		}
+		// Find the least loaded PE.
+		dst := 0
+		for p := 1; p < npes; p++ {
+			if perPE[p] < perPE[dst] {
+				dst = p
+			}
+		}
+		// Move the largest element that does not overload dst, else the
+		// smallest element.
+		cand := -1
+		for _, idx := range byPE[src] {
+			if loads[idx] == 0 {
+				continue
+			}
+			if perPE[dst]+loads[idx] <= threshold {
+				if cand < 0 || loads[idx] > loads[cand] {
+					cand = idx
+				}
+			}
+		}
+		if cand < 0 {
+			for _, idx := range byPE[src] {
+				if loads[idx] > 0 && (cand < 0 || loads[idx] < loads[cand]) {
+					cand = idx
+				}
+			}
+		}
+		if cand < 0 || perPE[dst]+loads[cand] >= perPE[src] {
+			break // no improving move
+		}
+		perPE[src] -= loads[cand]
+		perPE[dst] += loads[cand]
+		home[cand] = int32(dst)
+		// update byPE
+		lst := byPE[src]
+		for k, idx := range lst {
+			if idx == cand {
+				byPE[src] = append(lst[:k], lst[k+1:]...)
+				break
+			}
+		}
+		byPE[dst] = append(byPE[dst], cand)
+	}
+	return home
+}

@@ -1,0 +1,81 @@
+package charm
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"blueq/internal/converse"
+)
+
+func TestNewArrayPlacedCustomMap(t *testing.T) {
+	rt, err := NewRuntime(smallCfg(2, 2, converse.ModeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse placement: element i on PE (npes-1-i) mod npes.
+	npes := rt.NumPEs()
+	a := rt.NewArrayPlaced("rev", 8, func(idx int) Element { return nil },
+		func(idx int) int { return (npes - 1 - idx%npes) % npes })
+	for i := 0; i < 8; i++ {
+		want := (npes - 1 - i%npes) % npes
+		if a.HomePE(i) != want {
+			t.Fatalf("element %d on PE %d, want %d", i, a.HomePE(i), want)
+		}
+	}
+}
+
+func TestNewArrayPlacedRejectsBadPE(t *testing.T) {
+	rt, err := NewRuntime(smallCfg(1, 2, converse.ModeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range placement did not panic")
+		}
+	}()
+	rt.NewArrayPlaced("bad", 2, func(idx int) Element { return nil },
+		func(idx int) int { return 99 })
+}
+
+// Topology placement: entries run on the placed PEs, and messages between
+// adjacent blocks deliver correctly.
+func TestTopoPlace3DRuns(t *testing.T) {
+	rt, err := NewRuntime(smallCfg(4, 2, converse.ModeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bx, by, bz = 2, 2, 2
+	place := rt.TopoPlace3D(bx, by, bz)
+	var a *Array
+	var count atomic.Int64
+	var eRing int
+	a = rt.NewArrayPlaced("blocks", bx*by*bz, func(idx int) Element { return nil }, place)
+	eRing = a.Entry(func(pe *converse.PE, el Element, idx int, payload any) {
+		if pe.Id() != a.HomePE(idx) {
+			t.Errorf("element %d ran on PE %d, home %d", idx, pe.Id(), a.HomePE(idx))
+		}
+		if count.Add(1) == bx*by*bz {
+			pe.Machine().Shutdown()
+			return
+		}
+		_ = a.Send(pe, (idx+1)%(bx*by*bz), eRing, nil, 16)
+	})
+	done := make(chan struct{})
+	go func() {
+		rt.Run(func(pe *converse.PE) { _ = a.Send(pe, 0, eRing, nil, 16) })
+		close(done)
+	}()
+	<-done
+	if count.Load() != bx*by*bz {
+		t.Fatalf("ring visited %d blocks", count.Load())
+	}
+	// Placement used more than one node.
+	nodes := map[int]bool{}
+	for i := 0; i < bx*by*bz; i++ {
+		nodes[a.HomePE(i)/2] = true
+	}
+	if len(nodes) < 2 {
+		t.Fatalf("topo placement collapsed onto %d node(s)", len(nodes))
+	}
+}

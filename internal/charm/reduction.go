@@ -1,0 +1,168 @@
+package charm
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"blueq/internal/converse"
+)
+
+// ReduceOp is a reduction operator over float64 vectors.
+type ReduceOp int
+
+const (
+	// ReduceSum adds contributions element-wise.
+	ReduceSum ReduceOp = iota
+	// ReduceMax takes the element-wise maximum.
+	ReduceMax
+	// ReduceMin takes the element-wise minimum.
+	ReduceMin
+)
+
+func (op ReduceOp) identity() float64 {
+	switch op {
+	case ReduceMax:
+		return math.Inf(-1)
+	case ReduceMin:
+		return math.Inf(1)
+	}
+	return 0
+}
+
+func (op ReduceOp) combine(a, b float64) float64 {
+	switch op {
+	case ReduceMax:
+		return math.Max(a, b)
+	case ReduceMin:
+		return math.Min(a, b)
+	}
+	return a + b
+}
+
+// ReductionTarget receives the final reduced vector on PE 0.
+type ReductionTarget func(pe *converse.PE, result []float64)
+
+// reductionContribution travels from contributing PEs to the root.
+type reductionContribution struct {
+	seq   uint64
+	op    ReduceOp
+	value []float64
+	count int // number of element contributions folded in
+}
+
+// reductionState tracks in-flight reductions for one array. Charm++
+// reductions are streaming: elements contribute in any order, across
+// several concurrent reduction generations distinguished by sequence
+// number.
+type reductionState struct {
+	mu      sync.Mutex
+	targets map[uint64]ReductionTarget
+	pending map[uint64]*reductionContribution
+}
+
+// Contribute folds this element's vector into reduction generation seq of
+// the array using op. When all Len() elements of the array have contributed
+// to generation seq, target fires on PE 0. All elements must pass the same
+// op and a target for the same seq (targets from non-root PEs are ignored,
+// so passing the same closure everywhere is idiomatic).
+//
+// The implementation reduces locally per message and forwards partials to
+// PE 0, mirroring Charm++'s reduction tree (depth 1 here: with tens of PEs
+// the tree fan-in cost is modelled by the DES instead).
+func (a *Array) Contribute(pe *converse.PE, seq uint64, value []float64, op ReduceOp, target ReductionTarget) error {
+	st := &a.red
+	st.mu.Lock()
+	if st.targets == nil {
+		st.targets = make(map[uint64]ReductionTarget)
+		st.pending = make(map[uint64]*reductionContribution)
+	}
+	if target != nil {
+		st.targets[seq] = target
+	}
+	st.mu.Unlock()
+	contrib := &reductionContribution{seq: seq, op: op, value: append([]float64(nil), value...), count: 1}
+	if pe.Id() == a.rt.rootPE() {
+		a.reduceArrive(pe, contrib)
+		return nil
+	}
+	return a.rt.send(pe, a.rt.rootPE(),
+		charmMsg{kind: kindReduction, array: a.id, data: contrib}, 8*len(value), 0)
+}
+
+func (rt *Runtime) rootPE() int { return 0 }
+
+// reduceArrive folds one contribution at the root; on completion the target
+// fires there.
+func (a *Array) reduceArrive(pe *converse.PE, c *reductionContribution) {
+	st := &a.red
+	st.mu.Lock()
+	cur, ok := st.pending[c.seq]
+	if !ok {
+		cur = &reductionContribution{seq: c.seq, op: c.op, value: append([]float64(nil), c.value...), count: c.count}
+		st.pending[c.seq] = cur
+	} else {
+		if len(cur.value) != len(c.value) {
+			st.mu.Unlock()
+			panic(fmt.Sprintf("charm: reduction %d of array %q: vector length %d vs %d",
+				c.seq, a.name, len(cur.value), len(c.value)))
+		}
+		for i := range cur.value {
+			cur.value[i] = c.op.combine(cur.value[i], c.value[i])
+		}
+		cur.count += c.count
+	}
+	doneNow := cur.count == a.n
+	if cur.count > a.n {
+		st.mu.Unlock()
+		panic(fmt.Sprintf("charm: reduction %d of array %q received %d contributions for %d elements",
+			c.seq, a.name, cur.count, a.n))
+	}
+	var target ReductionTarget
+	var result []float64
+	if doneNow {
+		target = st.targets[c.seq]
+		result = cur.value
+		delete(st.pending, c.seq)
+		delete(st.targets, c.seq)
+	}
+	st.mu.Unlock()
+	if doneNow {
+		if target == nil {
+			panic(fmt.Sprintf("charm: reduction %d of array %q completed with no target", c.seq, a.name))
+		}
+		target(pe, result)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Quiescence detection
+
+// DetectQuiescence blocks until no Charm++ messages are in flight and all
+// delivered messages have been executed, then returns. Because the runtime
+// counts sends and completions with exact atomic counters in one address
+// space, quiescence is simply sent == done observed stably (the classic
+// double-check that replaces Dijkstra-Scholten waves here).
+//
+// It must be called from outside the schedulers (e.g. the driving test or a
+// monitoring goroutine), not from an entry method, which by definition is
+// still executing a message.
+func (rt *Runtime) DetectQuiescence() {
+	for {
+		s1, d1 := rt.sent.Load(), rt.done.Load()
+		if s1 == d1 {
+			s2, d2 := rt.sent.Load(), rt.done.Load()
+			if s2 == s1 && d2 == d1 {
+				return
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// MessagesSent returns the total entry-method messages sent so far.
+func (rt *Runtime) MessagesSent() int64 { return rt.sent.Load() }
+
+// MessagesExecuted returns the total entry-method messages executed.
+func (rt *Runtime) MessagesExecuted() int64 { return rt.done.Load() }

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"testing"
+
+	"blueq/internal/md"
+)
+
+// The paper's §VII observation: at the scaling limit, fewer worker
+// threads per core beat the full 4-way SMT (grain on the critical path
+// runs faster on a less-shared core).
+func TestWorkerSweepFavorsFewThreadsAtScale(t *testing.T) {
+	m := BGQ()
+	step := func(nodes, workers int) float64 {
+		cfg := NodeConfig{Workers: workers, CommThreads: 8, UseL2Queues: true, UseM2MPME: true}
+		return m.NAMDStep(NAMDConfig{System: md.ApoA1(), Nodes: nodes, Cfg: cfg, PMEEvery: 4}).Total
+	}
+	// At 4096 nodes, 16 workers (1.5 threads/core with comm) beats 56.
+	if step(4096, 16) >= step(4096, 56) {
+		t.Errorf("4096 nodes: 16 workers %.0fus not faster than 56 workers %.0fus",
+			step(4096, 16)*1e6, step(4096, 56)*1e6)
+	}
+	// At 64 nodes the opposite: more workers win (compute bound).
+	if step(64, 56) >= step(64, 16) {
+		t.Errorf("64 nodes: 56 workers %.0fus not faster than 16 workers %.0fus",
+			step(64, 56)*1e6, step(64, 16)*1e6)
+	}
+}
+
+// PME every step vs every 4: the paper reports 782 µs vs 683 µs at 4096
+// nodes — every-step must be slower, but by well under 2x.
+func TestPMEEveryStepCost(t *testing.T) {
+	m := BGQ()
+	cfg := m.bestConfig(4096)
+	e1 := m.NAMDStep(NAMDConfig{System: md.ApoA1(), Nodes: 4096, Cfg: cfg, PMEEvery: 1}).Total
+	e4 := m.NAMDStep(NAMDConfig{System: md.ApoA1(), Nodes: 4096, Cfg: cfg, PMEEvery: 4}).Total
+	if e1 <= e4 {
+		t.Fatalf("PME every step %.0fus not slower than every 4 %.0fus", e1*1e6, e4*1e6)
+	}
+	// Paper ratio: 782/683 = 1.14. Accept 1.02..1.6.
+	if r := e1 / e4; r < 1.02 || r > 1.6 {
+		t.Errorf("PME-every-step ratio %.2f outside [1.02, 1.6] (paper 1.14)", r)
+	}
+	near(t, "ApoA1@4096 PME every step", e1*1e6, 782, 0.25)
+}
+
+// Comm-thread sweep: at scale, dedicating 8 threads beats none
+// (communication bound); when compute-bound, giving a large share of the
+// node to comm threads costs compute throughput.
+func TestCommThreadSweepShape(t *testing.T) {
+	m := BGQ()
+	step := func(nodes, comm int) float64 {
+		cfg := NodeConfig{Workers: 64 - comm, CommThreads: comm, UseL2Queues: true, UseM2MPME: true}
+		return m.NAMDStep(NAMDConfig{System: md.ApoA1(), Nodes: nodes, Cfg: cfg, PMEEvery: 4}).Total
+	}
+	if step(1024, 8) >= step(1024, 0) {
+		t.Errorf("8 comm threads %.0fus not better than none %.0fus at 1024 nodes",
+			step(1024, 8)*1e6, step(1024, 0)*1e6)
+	}
+	// Compute-bound regime: a 32-thread comm allocation starves compute.
+	if step(64, 32) <= step(64, 8) {
+		t.Errorf("64 nodes: 32 comm threads %.0fus not worse than 8 %.0fus",
+			step(64, 32)*1e6, step(64, 8)*1e6)
+	}
+}
+
+func TestAblationTablesRender(t *testing.T) {
+	m := BGQ()
+	for name, s := range map[string]string{
+		"comm":  m.CommThreadSweep(1024).String(),
+		"smt":   m.WorkerSMTSweep(4096).String(),
+		"every": m.PMEEverySweep(4096).String(),
+	} {
+		if len(s) < 60 {
+			t.Errorf("%s ablation table too short:\n%s", name, s)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"math"
+
+	"blueq/internal/stats"
+)
+
+// The 3D FFT model behind Table I: a pencil-decomposed complex-to-complex
+// forward+backward transform on `nodes` BG/Q nodes, exchanging transpose
+// blocks either as individual Charm++ point-to-point messages or as
+// CmiDirectManytomany bursts executed by communication threads.
+
+// FFTConfig describes one Table I cell.
+type FFTConfig struct {
+	N     int // grid edge (N³ complex points)
+	Nodes int
+	M2M   bool
+	// CommOffload marks that dedicated comm threads perform the network
+	// injection/polling for p2p messages, leaving only the Charm++
+	// scheduling on the workers.
+	CommOffload bool
+	// Node layout; zero value selects the paper's 32 workers + 8 comm.
+	Workers, CommThreads int
+}
+
+// FFTBreakdown decomposes the modelled step time (seconds).
+type FFTBreakdown struct {
+	Compute   float64 // 1D FFT kernels
+	Network   float64 // transpose wire time
+	Software  float64 // per-message send/receive processing
+	PhaseCost float64 // per-transpose completion/latency overhead
+	Total     float64
+	MsgsPerPE int
+}
+
+// p2pMsgCost is the per-message worker CPU cost of a fine-grained Charm++
+// point-to-point message. Without comm threads the worker pays the whole
+// path: send stack, two-descriptor injection, queue traversal, buffer
+// allocation, dispatch and a scheduler-poll pickup. With comm-thread
+// offload the injection and network polling move off the workers.
+func (m Machine) p2pMsgCost(commOffload bool) float64 {
+	c := m.CharmSend + 2*m.QueueL2 + m.AllocPool + m.CharmRecv
+	if !commOffload {
+		c += m.PAMISend + m.WorkerPollDelay
+	}
+	return c
+}
+
+// FFT3DStep models one forward+backward 3D FFT (Table I's "time step").
+func (m Machine) FFT3DStep(cfg FFTConfig) FFTBreakdown {
+	if cfg.Workers == 0 {
+		cfg.Workers = 32
+	}
+	if cfg.CommThreads == 0 {
+		cfg.CommThreads = 8
+	}
+	n := cfg.N
+	nodes := cfg.Nodes
+
+	// Active processors: at most one pencil per PE, pencils spread across
+	// all nodes so every node's network ports contribute.
+	pes := nodes * cfg.Workers
+	pencils := n * n
+	active := pes
+	if active > pencils {
+		active = pencils
+	}
+	pr, pc := nearSquare(active)
+	active = pr * pc
+	activeNodes := float64(nodes)
+	if float64(active) < activeNodes {
+		activeNodes = float64(active)
+	}
+
+	// 1D FFT kernels: 6 passes of N² transforms of length N (fwd+bwd).
+	// When fewer than all workers on a node hold pencils, the node's
+	// effective FFT rate shrinks proportionally (SMT threads idle).
+	totalFlops := 30 * float64(n*n*n) * math.Log2(float64(n))
+	pesPerNode := float64(active) / activeNodes
+	rateFactor := pesPerNode / float64(cfg.Workers)
+	if rateFactor > 1 {
+		rateFactor = 1
+	}
+	compute := totalFlops / (activeNodes * m.NodeFFTRate * rateFactor)
+
+	// Four transposes: two row all-to-alls (pc partners) and two column
+	// all-to-alls (pr partners).
+	totalBytes := float64(n*n*n) * 16 // complex128 grid
+	msgsPerPE := 2 * (pr + pc)
+
+	// Wire time: each transpose moves the whole grid; effective per-node
+	// throughput degrades with distance as partners spread across the
+	// torus at larger node counts.
+	hopFactor := m.avgHops(int(activeNodes)) / m.avgHops(64)
+	if hopFactor < 1 {
+		hopFactor = 1
+	}
+	netPerTranspose := totalBytes / activeNodes / m.NodeAllToAllBW * hopFactor
+	network := 4 * netPerTranspose
+	if !cfg.M2M {
+		// Fine-grained bursty injection leaves link gaps.
+		network /= 0.8
+	}
+
+	// Per-message software cost.
+	var software float64
+	if cfg.M2M {
+		// Registered persistent sends fanned across the comm threads
+		// (paper §III-E); receive side symmetric.
+		software = float64(msgsPerPE) * m.M2MPerMsg * 2 / float64(cfg.CommThreads)
+	} else {
+		// Every message walks the full Charm++ stack on the worker.
+		software = float64(msgsPerPE) * m.p2pMsgCost(cfg.CommOffload)
+	}
+
+	// Per-transpose phase overhead: completion detection over the partner
+	// set, scheduler rotation and wire latency for the first packets.
+	phase := 4 * (4e-6 + m.avgHops(int(activeNodes))*m.HopLatency*16 +
+		2*m.CharmLocalDeliver + math.Log2(activeNodes)*1.5e-6)
+
+	total := compute + network + software + phase
+	return FFTBreakdown{
+		Compute: compute, Network: network, Software: software,
+		PhaseCost: phase, Total: total, MsgsPerPE: msgsPerPE,
+	}
+}
+
+// nearSquare factors a into pr*pc with pr <= pc and pr maximal.
+func nearSquare(a int) (pr, pc int) {
+	pr = 1
+	for d := 1; d*d <= a; d++ {
+		if a%d == 0 {
+			pr = d
+		}
+	}
+	return pr, a / pr
+}
+
+// TableI reproduces the paper's Table I: fwd+bwd 3D FFT time in µs for
+// grid sizes 128³/64³/32³ on 64..1024 nodes, p2p vs m2m.
+func (m Machine) TableI() *stats.Table {
+	t := stats.NewTable(
+		"Table I: complex-to-complex forward+backward 3D FFT time step (us)",
+		"nodes", "128 p2p", "128 m2m", "64 p2p", "64 m2m", "32 p2p", "32 m2m")
+	for _, nodes := range []int{64, 128, 256, 512, 1024} {
+		row := []any{nodes}
+		for _, n := range []int{128, 64, 32} {
+			p2p := m.FFT3DStep(FFTConfig{N: n, Nodes: nodes, M2M: false})
+			m2m := m.FFT3DStep(FFTConfig{N: n, Nodes: nodes, M2M: true})
+			row = append(row, p2p.Total*1e6, m2m.Total*1e6)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

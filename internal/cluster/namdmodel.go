@@ -1,0 +1,377 @@
+package cluster
+
+import (
+	"math"
+
+	"blueq/internal/md"
+	"blueq/internal/stats"
+	"blueq/internal/trace"
+)
+
+// The NAMD step model behind Figs. 7-12 and Table II. A step is the
+// maximum of the compute path and the (possibly comm-thread-overlapped)
+// messaging path, plus the amortized PME cost and the per-step critical
+// chain. The mechanisms that differentiate the paper's configurations are
+// explicit: SMT yield per worker layout, the finest work grain bounding
+// the critical path at scale, lockless vs mutex queue serialization,
+// pointer exchange vs cross-process messaging, comm-thread offload, and
+// p2p vs many-to-many PME.
+
+// GrainAtoms is the finest decomposition unit (2-away patches / pairwise
+// compute objects): the serial time of one grain bounds strong scaling.
+const GrainAtoms = 20
+
+// MsgsPerPatch is the per-step message count of one patch (coordinate
+// multicasts and force returns).
+const MsgsPerPatch = 30
+
+// NAMDConfig describes one NAMD run point.
+type NAMDConfig struct {
+	System   md.BenchmarkSystem
+	Nodes    int
+	Cfg      NodeConfig
+	PMEEvery int
+	// NoQPX disables the vectorized compute kernels (§IV-B.1 ablation).
+	NoQPX bool
+}
+
+// NAMDBreakdown decomposes the modelled step time (seconds).
+type NAMDBreakdown struct {
+	Compute   float64 // per-node nonbonded+bonded+integration work
+	Grain     float64 // finest work quantum on one thread
+	Messaging float64 // per-step message processing (after overlap)
+	PME       float64 // amortized reciprocal-space cost per step
+	PMEFull   float64 // un-amortized PME-step cost
+	Critical  float64 // latency chain (reductions, broadcasts)
+	Total     float64
+	MsgsNode  float64 // messages per node per step
+}
+
+// NAMDStep models the average time per simulation step.
+func (m Machine) NAMDStep(c NAMDConfig) NAMDBreakdown {
+	if c.PMEEvery < 1 {
+		c.PMEEvery = 4
+	}
+	cfg := c.Cfg
+	if cfg.Workers == 0 {
+		cfg.Workers = m.CoresPerNode * m.ThreadsPerCore
+	}
+	if cfg.ProcsPerNode == 0 {
+		cfg.ProcsPerNode = 1
+	}
+	atoms := float64(c.System.Atoms)
+	serialWork := m.SerialApoA1Step * atoms / float64(md.ApoA1Atoms)
+	if atoms > float64(md.ApoA1Atoms) {
+		// Very large systems lose per-atom cache efficiency: the working
+		// set (exclusion lists, tables, proxy data) no longer fits.
+		serialWork *= 1 + 0.2*math.Log10(atoms/float64(md.ApoA1Atoms))
+	}
+	if c.NoQPX {
+		serialWork *= m.QPXSpeedup
+	}
+
+	workers := float64(cfg.ProcsPerNode * cfg.Workers)
+	tpc := cfg.threadsPerCore(m)
+	if tpc > float64(m.ThreadsPerCore) {
+		tpc = float64(m.ThreadsPerCore)
+	}
+	if tpc < 1.0/float64(m.CoresPerNode) {
+		tpc = 1.0 / float64(m.CoresPerNode)
+	}
+	yield := m.SMTYield(tpc)
+	// Workers' share of the node's thread throughput.
+	capacity := float64(m.CoresPerNode) * yield * workers / float64(cfg.totalThreads())
+	if cfg.ProcsPerNode > 1 {
+		capacity *= 0.93 // partitioned memory/FIFO resources (paper §I)
+	}
+	compute := serialWork / float64(c.Nodes) / capacity
+
+	// Finest grain on a single hardware thread.
+	grains := atoms / GrainAtoms
+	perThread := yield / tpc
+	grain := serialWork / grains / perThread
+
+	// Messaging.
+	patches := atoms / 25
+	msgs := patches * MsgsPerPatch / float64(c.Nodes)
+	if msgs < 16 {
+		msgs = 16
+	}
+	// A share of neighbour messages stays on-node: pointer exchanges in
+	// SMP mode, much cheaper than wire messages.
+	intraShare := 1 / math.Cbrt(float64(c.Nodes))
+	wireCost := m.CharmSend + m.CharmRecv + m.PAMIImmediate
+	intraCost := m.QueueL2 + m.CharmLocalDeliver
+	if cfg.ProcsPerNode > 1 {
+		// Intra-node neighbours are in other processes: no pointer
+		// exchange, the message crosses the MU loopback.
+		wireCost *= 1.6
+		intraCost = wireCost
+	}
+	msgCost := intraShare*intraCost + (1-intraShare)*wireCost
+	var messaging, msgOverlap float64
+	queueAlloc := m.queueAllocCost(cfg, workers/float64(cfg.ProcsPerNode), msgs)
+	if cfg.CommThreads > 0 {
+		// Comm threads process messages concurrently with compute.
+		commT := float64(cfg.ProcsPerNode * cfg.CommThreads)
+		raw := msgs*msgCost/commT + queueAlloc
+		msgOverlap = raw // overlappable with compute
+		messaging = msgs * m.QueueL2 / workers
+	} else {
+		// Workers interleave messaging with compute: fully additive.
+		messaging = msgs*msgCost/workers + queueAlloc
+	}
+
+	// PME.
+	pme := m.pmeStepCost(c, cfg)
+
+	// Critical chain: reduction/broadcast depth plus a few wakeup hops.
+	critical := math.Log2(float64(c.Nodes)+1)*(2e-6+m.avgHops(c.Nodes)*m.HopLatency) +
+		4*(m.WakeupLatency+m.CharmLocalDeliver)
+
+	busy := math.Max(compute, grain)
+	busy = math.Max(busy, msgOverlap)
+	total := busy + messaging + pme/float64(c.PMEEvery) + critical
+	return NAMDBreakdown{
+		Compute: compute, Grain: grain, Messaging: messaging,
+		PME: pme / float64(c.PMEEvery), PMEFull: pme,
+		Critical: critical, Total: total, MsgsNode: msgs,
+	}
+}
+
+// queueAllocCost returns the per-step queue+allocator cost. The lockless
+// design parallelizes across threads; the mutex/arena baseline serializes
+// on shared per-process locks, inflated by the number of workers
+// contending within the process (Fig. 8: one process per node contends
+// hardest and so gains most from the L2 atomics).
+func (m Machine) queueAllocCost(cfg NodeConfig, workersPerProc, msgs float64) float64 {
+	if cfg.UseL2Queues {
+		return msgs * (m.QueueL2 + m.AllocPool) / (workersPerProc * float64(cfg.ProcsPerNode))
+	}
+	contention := 1 + 0.055*workersPerProc
+	return msgs * (m.QueueMutex + m.AllocArena) * contention / float64(cfg.ProcsPerNode)
+}
+
+// pmeStepCost returns the full cost of one PME evaluation: the pencil FFT
+// (p2p or m2m transposes) plus the charge/force grid exchange with its 36
+// small messages per thread per phase (paper Fig. 3).
+func (m Machine) pmeStepCost(c NAMDConfig, cfg NodeConfig) float64 {
+	grid := c.System.PMEGrid
+	n := int(math.Cbrt(float64(grid[0]) * float64(grid[1]) * float64(grid[2])))
+	workers := cfg.ProcsPerNode * cfg.Workers
+	comm := cfg.ProcsPerNode * cfg.CommThreads
+	fft := m.FFT3DStep(FFTConfig{
+		N: n, Nodes: c.Nodes, M2M: cfg.UseM2MPME, CommOffload: comm > 0,
+		Workers: workers, CommThreads: maxInt(comm, 1),
+	})
+	// Charge spreading out + force interpolation back.
+	const msgsPerThreadPhase = 36
+	const phases = 4
+	exchangeMsgs := float64(msgsPerThreadPhase * phases)
+	var exchange float64
+	if cfg.UseM2MPME && comm > 0 {
+		exchange = exchangeMsgs * m.M2MPerMsg * float64(workers) / float64(comm)
+	} else {
+		exchange = exchangeMsgs * m.p2pMsgCost(comm > 0)
+	}
+	gridBytes := 16 * float64(grid[0]) * float64(grid[1]) * float64(grid[2])
+	wire := 2 * gridBytes / float64(c.Nodes) / m.NodeAllToAllBW
+	return fft.Total + exchange + wire
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Figure/table generators
+
+// bestConfig mirrors the paper's per-scale configuration choice (Fig. 11
+// caption): all threads compute at small node counts; dedicated comm
+// threads and eventually fewer workers per core at scale.
+func (m Machine) bestConfig(nodes int) NodeConfig {
+	maxT := m.CoresPerNode * m.ThreadsPerCore
+	switch {
+	case nodes < 256 || m.ThreadsPerCore == 1:
+		return NodeConfig{Workers: maxT, UseL2Queues: true, UseM2MPME: nodes >= 128}
+	case nodes < 2048:
+		return NodeConfig{Workers: maxT / 2, CommThreads: 8, UseL2Queues: true, UseM2MPME: true}
+	default:
+		return NodeConfig{Workers: maxT / 4, CommThreads: 8, UseL2Queues: true, UseM2MPME: true}
+	}
+}
+
+// Fig7 compares the paper's three node configurations for ApoA1.
+func (m Machine) Fig7(nodeCounts []int) *stats.Table {
+	if nodeCounts == nil {
+		nodeCounts = []int{64, 128, 256, 512, 1024}
+	}
+	// All three use standard PME: Fig. 7 isolates the process/thread
+	// layout (the m2m PME comparison is Fig. 10).
+	maxT := m.CoresPerNode * m.ThreadsPerCore
+	configs := []NodeConfig{
+		{Workers: maxT, UseL2Queues: true},                        // 64 threads compute
+		{Workers: maxT - 16, CommThreads: 16, UseL2Queues: true},  // 48w+16c
+		{ProcsPerNode: 16, Workers: maxT / 16, UseL2Queues: true}, // 16 procs x 4t
+	}
+	t := stats.NewTable(
+		"Fig 7: ApoA1 time/step (ms) for process/thread configurations",
+		"nodes", configs[0].String(), configs[1].String(), configs[2].String())
+	for _, nodes := range nodeCounts {
+		row := []any{nodes}
+		for _, cfg := range configs {
+			b := m.NAMDStep(NAMDConfig{System: md.ApoA1(), Nodes: nodes, Cfg: cfg, PMEEvery: 4})
+			row = append(row, b.Total*1e3)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig8 shows the benefit of L2-atomic lockless queues and pool allocation
+// over mutex queues and arena allocation, in two configurations.
+func (m Machine) Fig8(nodeCounts []int) *stats.Table {
+	if nodeCounts == nil {
+		nodeCounts = []int{128, 256, 512}
+	}
+	maxT := m.CoresPerNode * m.ThreadsPerCore
+	t := stats.NewTable(
+		"Fig 8: ApoA1 time/step (ms) with and without L2 atomic queues",
+		"nodes", "1proc L2", "1proc mutex", "4proc L2", "4proc mutex")
+	for _, nodes := range nodeCounts {
+		row := []any{nodes}
+		for _, procs := range []int{1, 4} {
+			for _, l2 := range []bool{true, false} {
+				cfg := NodeConfig{
+					ProcsPerNode: procs, Workers: maxT / procs,
+					UseL2Queues: l2,
+				}
+				b := m.NAMDStep(NAMDConfig{System: md.ApoA1(), Nodes: nodes, Cfg: cfg, PMEEvery: 4})
+				row = append(row, b.Total*1e3)
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig11 reproduces the BG/Q vs BG/P ApoA1 scaling comparison (time per
+// step in ms, best configuration per point, PME every 4 steps).
+func Fig11(nodeCounts []int) *stats.Table {
+	if nodeCounts == nil {
+		nodeCounts = []int{1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096}
+	}
+	bgq, bgp := BGQ(), BGP()
+	t := stats.NewTable(
+		"Fig 11: ApoA1 time/step (ms), PME every 4 steps",
+		"nodes", "BG/Q", "BG/P")
+	for _, nodes := range nodeCounts {
+		q := bgq.NAMDStep(NAMDConfig{System: md.ApoA1(), Nodes: nodes, Cfg: bgq.bestConfig(nodes), PMEEvery: 4})
+		p := bgp.NAMDStep(NAMDConfig{System: md.ApoA1(), Nodes: nodes, Cfg: bgp.bestConfig(nodes), PMEEvery: 4})
+		t.AddRow(nodes, q.Total*1e3, p.Total*1e3)
+	}
+	return t
+}
+
+// Fig12 reproduces the STMV 20M-atom scaling with m2m-accelerated PME.
+func (m Machine) Fig12(nodeCounts []int) *stats.Table {
+	if nodeCounts == nil {
+		nodeCounts = []int{1024, 2048, 4096, 8192, 16384}
+	}
+	t := stats.NewTable(
+		"Fig 12: STMV 20M atoms time/step (ms), PME every 4 steps, m2m",
+		"nodes", "ms/step")
+	for _, nodes := range nodeCounts {
+		b := m.NAMDStep(NAMDConfig{System: md.STMV20M(), Nodes: nodes, Cfg: m.bestConfig(nodes), PMEEvery: 4})
+		t.AddRow(nodes, b.Total*1e3)
+	}
+	return t
+}
+
+// TableII reproduces the 100M-atom STMV table: time per step and speedup
+// with parallel efficiency normalized to 1 at 2048 nodes, as in the paper.
+func (m Machine) TableII() *stats.Table {
+	t := stats.NewTable(
+		"Table II: 100M STMV time step (ms) with PME every 4 steps",
+		"nodes", "cores", "threads/proc", "timestep(ms)", "speedup")
+	type rowCfg struct {
+		nodes, threads int
+	}
+	rows := []rowCfg{{2048, 48}, {4096, 48}, {8192, 48}, {16384, 32}}
+	var base float64
+	for _, rc := range rows {
+		cfg := NodeConfig{Workers: rc.threads - 8, CommThreads: 8, UseL2Queues: true, UseM2MPME: true}
+		b := m.NAMDStep(NAMDConfig{System: md.STMV100M(), Nodes: rc.nodes, Cfg: cfg, PMEEvery: 4})
+		if base == 0 {
+			base = b.Total * 2048 * 16 // efficiency 1 at 2048 nodes
+		}
+		speedup := base / b.Total
+		t.AddRow(rc.nodes, rc.nodes*16, rc.threads, b.Total*1e3, speedup)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Time profiles (Figs. 9, 10)
+
+// ProfileOptions selects the profiled run.
+type ProfileOptions struct {
+	Nodes    int
+	Cfg      NodeConfig
+	WindowMS float64
+	PMEEvery int
+}
+
+// BuildTimeline plays the modelled step schedule into a trace.Timeline for
+// a node's worker threads: integration, nonbonded, PME bursts and idle
+// gaps laid out in virtual time. The profiles and peak counts of Figs. 9
+// and 10 are read off this timeline.
+func (m Machine) BuildTimeline(o ProfileOptions) (*trace.Timeline, NAMDBreakdown) {
+	b := m.NAMDStep(NAMDConfig{System: md.ApoA1(), Nodes: o.Nodes, Cfg: o.Cfg, PMEEvery: o.PMEEvery})
+	workers := o.Cfg.ProcsPerNode * o.Cfg.Workers
+	if workers == 0 {
+		workers = m.CoresPerNode * m.ThreadsPerCore
+	}
+	tl := trace.New(workers)
+	window := o.WindowMS * 1e-3
+	stepNo := 0
+	// Non-PME steps are shorter than the average; PME steps longer.
+	every := o.PMEEvery
+	if every < 1 {
+		every = 4
+	}
+	stepBase := b.Total - b.PME
+	for t0 := 0.0; t0 < window; stepNo++ {
+		stepLen := stepBase
+		isPME := stepNo%every == 0
+		if isPME {
+			stepLen += b.PMEFull
+		}
+		busyShare := math.Max(b.Compute, b.Grain) / stepLen
+		for th := 0; th < workers; th++ {
+			// Slight stagger models load imbalance across threads.
+			jitter := stepLen * 0.06 * float64(th%7) / 7
+			t := t0 + jitter
+			integ := 0.05 * b.Compute
+			tl.Add(th, t, t+integ, trace.Integration)
+			t += integ
+			nb := busyShare*stepLen*0.95 - integ
+			if nb > 0 {
+				tl.Add(th, t, t+nb, trace.Nonbonded)
+				t += nb
+			}
+			if isPME {
+				tl.Add(th, t, t+b.PMEFull*0.8, trace.PME)
+				t += b.PMEFull * 0.8
+			}
+			if b.Messaging > 0 {
+				tl.Add(th, t, t+b.Messaging, trace.Comm)
+			}
+		}
+		t0 += stepLen
+	}
+	return tl, b
+}

@@ -1,0 +1,112 @@
+package converse
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Accessor and bookkeeping surface of the machine layer.
+func TestMachineAccessors(t *testing.T) {
+	m, err := NewMachine(Config{Nodes: 3, WorkersPerNode: 2, Mode: ModeSMP, RingSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 3 || m.NumPEs() != 6 {
+		t.Fatalf("nodes=%d pes=%d", m.NumNodes(), m.NumPEs())
+	}
+	if m.Config().WorkersPerNode != 2 {
+		t.Fatal("config not normalized/retained")
+	}
+	if m.Torus().Nodes() < 3 {
+		t.Fatal("torus smaller than node count")
+	}
+	for id := 0; id < 6; id++ {
+		pe := m.PE(id)
+		if pe.Id() != id {
+			t.Fatalf("PE(%d).Id() = %d", id, pe.Id())
+		}
+		if pe.NumPEs() != 6 {
+			t.Fatalf("NumPEs = %d", pe.NumPEs())
+		}
+		if pe.LocalRank() != id%2 {
+			t.Fatalf("LocalRank(%d) = %d", id, pe.LocalRank())
+		}
+		if pe.Node() != m.Node(id/2) {
+			t.Fatalf("PE %d node mismatch", id)
+		}
+		if pe.Machine() != m {
+			t.Fatal("Machine() mismatch")
+		}
+	}
+	n := m.Node(0)
+	if n.Rank() != 0 || n.NumPEs() != 2 {
+		t.Fatalf("node rank=%d pes=%d", n.Rank(), n.NumPEs())
+	}
+	if n.Allocator() == nil {
+		t.Fatal("nil node allocator")
+	}
+	if n.HasCommThreads() {
+		t.Fatal("SMP mode reports comm threads")
+	}
+	if n.NumContexts() != 2 {
+		t.Fatalf("contexts = %d", n.NumContexts())
+	}
+}
+
+// Executed and idle counters move; enqueued messages count.
+func TestSchedulerCounters(t *testing.T) {
+	var h int
+	var done atomic.Bool
+	m := runMachine(t, Config{Nodes: 1, WorkersPerNode: 2, Mode: ModeSMP},
+		func(m *Machine) {
+			h = m.RegisterHandler(func(pe *PE, msg *Message) {
+				n := msg.Payload.(int)
+				if n == 0 {
+					done.Store(true)
+					pe.Machine().Shutdown()
+					return
+				}
+				_ = pe.Send(1-pe.Id(), &Message{Handler: h, Bytes: 8, Payload: n - 1})
+			})
+		},
+		func(pe *PE) {
+			if pe.Id() == 0 {
+				_ = pe.Send(1, &Message{Handler: h, Bytes: 8, Payload: 50})
+			}
+		})
+	if !done.Load() {
+		t.Fatal("countdown incomplete")
+	}
+	total := m.PE(0).Executed() + m.PE(1).Executed()
+	if total != 51 {
+		t.Fatalf("executed %d messages, want 51", total)
+	}
+	// Each PE idled at some point while waiting for the bounce.
+	if m.PE(0).IdleCycles() == 0 && m.PE(1).IdleCycles() == 0 {
+		t.Fatal("no idle cycles recorded")
+	}
+}
+
+// PostToComm without comm threads: work runs when the context is next
+// advanced by a worker.
+func TestPostToCommWithoutCommThreads(t *testing.T) {
+	var ran atomic.Bool
+	var h int
+	runMachine(t, Config{Nodes: 1, WorkersPerNode: 1, Mode: ModeSMP},
+		func(m *Machine) {
+			h = m.RegisterHandler(func(pe *PE, msg *Message) {
+				if ran.Load() {
+					pe.Machine().Shutdown()
+					return
+				}
+				_ = pe.Send(pe.Id(), &Message{Handler: h, Bytes: 8})
+			})
+		},
+		func(pe *PE) {
+			pe.Node().PostToComm(0, func() { ran.Store(true) })
+			_ = pe.Send(0, &Message{Handler: h, Bytes: 8})
+		})
+	if !ran.Load() {
+		t.Fatal("posted work never ran")
+	}
+}

@@ -1,0 +1,498 @@
+// Package converse implements the Converse adaptive runtime layer of
+// Charm++ over the PAMI substrate: processing elements (PEs) with
+// message-driven schedulers, SMP nodes, intra-node pointer-exchange
+// delivery through lockless queues, the network machine layer, and the
+// optimized idle-poll loop (paper §III).
+//
+// Three execution modes are supported, matching the paper's study:
+//
+//   - ModeNonSMP: one PE per process; the PE does both computation and
+//     communication.
+//   - ModeSMP: several worker PEs share a process (an SMP node); workers
+//     advance the network themselves. Intra-node messages are pointer
+//     exchanges through L2 lockless queues.
+//   - ModeSMPComm: as ModeSMP, plus dedicated communication threads that
+//     advance PAMI contexts, woken by the wakeup unit.
+package converse
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"blueq/internal/lockless"
+	"blueq/internal/mempool"
+	"blueq/internal/pami"
+	"blueq/internal/torus"
+	"blueq/internal/wakeup"
+)
+
+// Mode selects the process/thread structure (paper §III, Fig. 7).
+type Mode int
+
+const (
+	// ModeNonSMP runs one PE per process.
+	ModeNonSMP Mode = iota
+	// ModeSMP runs several worker PEs per process without comm threads.
+	ModeSMP
+	// ModeSMPComm adds dedicated communication threads.
+	ModeSMPComm
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNonSMP:
+		return "nonSMP"
+	case ModeSMP:
+		return "SMP"
+	case ModeSMPComm:
+		return "SMP+comm"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// QueueKind selects the intra-node queue implementation (Fig. 8 ablation).
+type QueueKind int
+
+const (
+	// L2Queues uses the lockless L2-atomic queues (the paper's scheme).
+	L2Queues QueueKind = iota
+	// MutexQueues uses the traditional mutex-guarded queues (baseline).
+	MutexQueues
+)
+
+// Config describes a Converse machine.
+type Config struct {
+	// Nodes is the number of simulated processes (BG/Q nodes in SMP mode).
+	Nodes int
+	// WorkersPerNode is the number of worker PEs per process. Forced to 1
+	// in ModeNonSMP.
+	WorkersPerNode int
+	// CommThreads is the number of communication threads per process in
+	// ModeSMPComm (ignored otherwise). Defaults to 1 per 4 workers.
+	CommThreads int
+	// Mode selects the execution mode.
+	Mode Mode
+	// Queues selects the intra-node queue implementation.
+	Queues QueueKind
+	// RingSize overrides the L2 queue ring size (0 = default).
+	RingSize int
+}
+
+func (c *Config) normalize() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("converse: Nodes = %d", c.Nodes)
+	}
+	if c.Mode == ModeNonSMP {
+		c.WorkersPerNode = 1
+		c.CommThreads = 0
+	}
+	if c.WorkersPerNode < 1 {
+		c.WorkersPerNode = 1
+	}
+	if c.Mode == ModeSMPComm && c.CommThreads < 1 {
+		c.CommThreads = (c.WorkersPerNode + 3) / 4 // 1 comm per 4 workers
+	}
+	if c.Mode != ModeSMPComm {
+		c.CommThreads = 0
+	}
+	return nil
+}
+
+// Handler is a Converse message handler, invoked on the destination PE's
+// scheduler.
+type Handler func(pe *PE, msg *Message)
+
+// Message is a Converse message. Within a node it travels by pointer
+// exchange; across nodes the functional network delivers the same value and
+// Bytes records the modelled wire size for statistics and the DES.
+type Message struct {
+	Handler int
+	SrcPE   int
+	Bytes   int
+	Prio    int // lower runs first; 0 is the default
+	Payload any
+
+	seq       uint64 // FIFO tie-break within equal priorities
+	destLocal int    // worker rank within the destination node
+}
+
+// Machine is a running Converse instance spanning Config.Nodes processes.
+type Machine struct {
+	cfg      Config
+	tor      *torus.Torus
+	net      *torus.Network
+	client   *pami.Client
+	nodes    []*SMPNode
+	pes      []*PE
+	handlers []Handler
+	started  atomic.Bool
+	stopped  atomic.Bool
+	wg       sync.WaitGroup
+
+	// dispatch ids on the PAMI layer
+	dispConverse   int
+	dispRendezvous int
+	dispRzvAck     int
+
+	rzvSeq   atomic.Uint64
+	rzvStats RendezvousStats
+
+	// internal handler id for spanning-tree broadcasts
+	bcastHandler int
+}
+
+// NewMachine builds a machine; handlers must be registered before Start.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	tor := torus.MustNew(torus.ShapeForNodes(cfg.Nodes))
+	ctxPerNode := cfg.WorkersPerNode
+	net := torus.NewNetwork(tor, ctxPerNode)
+	m := &Machine{
+		cfg:            cfg,
+		tor:            tor,
+		net:            net,
+		client:         pami.NewClient(net, ctxPerNode),
+		dispConverse:   1,
+		dispRendezvous: 2,
+		dispRzvAck:     3,
+	}
+	for r := 0; r < cfg.Nodes; r++ {
+		node := &SMPNode{machine: m, rank: r}
+		node.alloc = mempool.NewPoolAllocator(cfg.WorkersPerNode+cfg.CommThreads, 0)
+		for w := 0; w < cfg.WorkersPerNode; w++ {
+			pe := &PE{
+				id:    r*cfg.WorkersPerNode + w,
+				local: w,
+				node:  node,
+				wake:  wakeup.NewUnit(),
+			}
+			switch cfg.Queues {
+			case MutexQueues:
+				pe.queue = lockless.NewMutexQueue()
+			default:
+				pe.queue = lockless.NewL2Queue(cfg.RingSize)
+			}
+			node.pes = append(node.pes, pe)
+			m.pes = append(m.pes, pe)
+		}
+		for c := 0; c < ctxPerNode; c++ {
+			ctx := m.client.Node(r).Context(c)
+			node.contexts = append(node.contexts, ctx)
+			ctx.RegisterDispatch(m.dispConverse, node.onNetworkMessage)
+		}
+		// Without comm threads each worker owns its context's wakeups.
+		if cfg.Mode != ModeSMPComm {
+			for c, ctx := range node.contexts {
+				ctx.SetWaker(node.pes[c%len(node.pes)].wake)
+			}
+		}
+		m.nodes = append(m.nodes, node)
+	}
+	m.registerRendezvous()
+	m.registerBroadcast()
+	return m, nil
+}
+
+// Config returns the (normalized) machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Torus returns the network topology.
+func (m *Machine) Torus() *torus.Torus { return m.tor }
+
+// NumPEs returns the total number of worker PEs.
+func (m *Machine) NumPEs() int { return len(m.pes) }
+
+// NumNodes returns the number of processes.
+func (m *Machine) NumNodes() int { return len(m.nodes) }
+
+// PE returns the PE with the given global id. Valid only for message-setup
+// purposes before Start; application code receives *PE in handlers.
+func (m *Machine) PE(id int) *PE { return m.pes[id] }
+
+// Node returns the SMP node with the given rank.
+func (m *Machine) Node(rank int) *SMPNode { return m.nodes[rank] }
+
+// RegisterHandler adds a handler to the global table (CmiRegisterHandler)
+// and returns its index. Must be called before Start.
+func (m *Machine) RegisterHandler(h Handler) int {
+	if m.started.Load() {
+		panic("converse: RegisterHandler after Start")
+	}
+	m.handlers = append(m.handlers, h)
+	return len(m.handlers) - 1
+}
+
+// Start launches the scheduler goroutines. If initPE is non-nil it runs on
+// every PE before that PE begins scheduling (ConverseInit-style).
+func (m *Machine) Start(initPE func(pe *PE)) {
+	if !m.started.CompareAndSwap(false, true) {
+		panic("converse: Start called twice")
+	}
+	// Launch comm threads first so arrivals during init are progressed.
+	if m.cfg.Mode == ModeSMPComm {
+		for _, node := range m.nodes {
+			node.startCommThreads(m.cfg.CommThreads)
+		}
+	}
+	for _, pe := range m.pes {
+		m.wg.Add(1)
+		go pe.run(initPE)
+	}
+}
+
+// Shutdown stops all schedulers and comm threads (CsdExitScheduler on every
+// PE). Safe to call from handlers or externally, once.
+func (m *Machine) Shutdown() {
+	if !m.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for _, pe := range m.pes {
+		pe.wake.Signal()
+	}
+}
+
+// Wait blocks until all PE schedulers have exited, then stops comm threads.
+func (m *Machine) Wait() {
+	m.wg.Wait()
+	for _, node := range m.nodes {
+		node.stopCommThreads()
+	}
+}
+
+// Run is Start+block-until-Shutdown convenience.
+func (m *Machine) Run(initPE func(pe *PE)) {
+	m.Start(initPE)
+	m.Wait()
+}
+
+// SMPNode is one process: a set of worker PEs sharing memory, their PAMI
+// contexts, comm threads and the node-level allocator.
+type SMPNode struct {
+	machine  *Machine
+	rank     int
+	pes      []*PE
+	contexts []*pami.Context
+	comm     []*pami.CommThread
+	alloc    mempool.Allocator
+}
+
+// Rank returns the node's process rank.
+func (n *SMPNode) Rank() int { return n.rank }
+
+// NumPEs returns the number of worker PEs on this node.
+func (n *SMPNode) NumPEs() int { return len(n.pes) }
+
+// Allocator returns the node's message-buffer allocator.
+func (n *SMPNode) Allocator() mempool.Allocator { return n.alloc }
+
+// HasCommThreads reports whether this node runs dedicated comm threads.
+func (n *SMPNode) HasCommThreads() bool { return n.machine.cfg.Mode == ModeSMPComm }
+
+// NumContexts returns the node's PAMI context count.
+func (n *SMPNode) NumContexts() int { return len(n.contexts) }
+
+// PostToComm queues work on context i's work queue; with comm threads
+// enabled the work executes on a communication thread (PAMI_Context_post).
+// Without comm threads the work runs when a worker next advances that
+// context. The many-to-many layer uses this to parallelize message bursts
+// across comm threads (paper §III-E).
+func (n *SMPNode) PostToComm(i int, w func()) {
+	n.contexts[i%len(n.contexts)].Post(w)
+}
+
+func (n *SMPNode) startCommThreads(k int) {
+	if k < 1 || len(n.contexts) == 0 {
+		return
+	}
+	if k > len(n.contexts) {
+		k = len(n.contexts)
+	}
+	// Contexts are distributed evenly across comm threads so the load from
+	// each worker spreads over all comm threads (paper §III-C).
+	buckets := make([][]*pami.Context, k)
+	for i, ctx := range n.contexts {
+		buckets[i%k] = append(buckets[i%k], ctx)
+	}
+	for _, b := range buckets {
+		n.comm = append(n.comm, pami.StartCommThread(b...))
+	}
+}
+
+func (n *SMPNode) stopCommThreads() {
+	for _, ct := range n.comm {
+		ct.Stop()
+	}
+	n.comm = nil
+}
+
+// onNetworkMessage is the PAMI dispatch callback for Converse messages: it
+// enqueues the message on the destination PE's scheduler queue.
+func (n *SMPNode) onNetworkMessage(src int, data any, bytes int) {
+	msg := data.(*Message)
+	n.pes[msg.destLocal].enqueue(msg)
+}
+
+// PE is a Converse processing element: a worker thread with a
+// message-driven scheduler.
+type PE struct {
+	id    int
+	local int
+	node  *SMPNode
+	queue lockless.Queue
+	wake  *wakeup.Unit
+
+	prioq    msgHeap
+	seq      uint64
+	executed atomic.Int64
+	idles    atomic.Int64
+	enqueued atomic.Int64
+}
+
+// Id returns the PE's global identifier (CmiMyPe).
+func (pe *PE) Id() int { return pe.id }
+
+// LocalRank returns the PE's rank within its node (CmiMyRank).
+func (pe *PE) LocalRank() int { return pe.local }
+
+// Node returns the PE's SMP node.
+func (pe *PE) Node() *SMPNode { return pe.node }
+
+// Machine returns the owning machine.
+func (pe *PE) Machine() *Machine { return pe.node.machine }
+
+// NumPEs returns the machine's total PE count (CmiNumPes).
+func (pe *PE) NumPEs() int { return len(pe.node.machine.pes) }
+
+// Executed returns the number of messages this PE has run.
+func (pe *PE) Executed() int64 { return pe.executed.Load() }
+
+// IdleCycles returns the number of scheduler iterations spent idle.
+func (pe *PE) IdleCycles() int64 { return pe.idles.Load() }
+
+func (pe *PE) enqueue(msg *Message) {
+	pe.enqueued.Add(1)
+	pe.queue.Enqueue(msg)
+	pe.wake.Signal()
+}
+
+// destLocal on Message routes to the right worker within a node.
+// (kept unexported; set by Send)
+
+// Send delivers msg to the PE with global id dst (CmiSyncSend). Within the
+// node it is a pointer exchange through the destination's lockless queue;
+// across nodes it goes through PAMI using this PE's context, choosing
+// Send_immediate for short messages.
+func (pe *PE) Send(dst int, msg *Message) error {
+	m := pe.node.machine
+	if dst < 0 || dst >= len(m.pes) {
+		return fmt.Errorf("converse: PE %d out of range [0,%d)", dst, len(m.pes))
+	}
+	msg.SrcPE = pe.id
+	target := m.pes[dst]
+	if target.node == pe.node {
+		target.enqueue(msg)
+		return nil
+	}
+	msg.destLocal = target.local
+	if msg.Bytes > RendezvousThreshold {
+		return pe.sendRendezvous(target, msg)
+	}
+	ctx := pe.node.contexts[pe.local%len(pe.node.contexts)]
+	if msg.Bytes <= pami.ShortLimit {
+		return ctx.SendImmediate(target.node.rank, target.local, m.dispConverse, msg, msg.Bytes)
+	}
+	return ctx.Send(target.node.rank, target.local, m.dispConverse, msg, msg.Bytes, nil)
+}
+
+// run is the CsdScheduler loop with the optimized idle poll (§III-D): spin
+// briefly on the queue's L2 counters, advance the network when this PE is
+// responsible for it, then block on the wakeup unit.
+func (pe *PE) run(initPE func(pe *PE)) {
+	m := pe.node.machine
+	defer m.wg.Done()
+	if initPE != nil {
+		initPE(pe)
+	}
+	selfAdvance := m.cfg.Mode != ModeSMPComm
+	myCtx := pe.node.contexts[pe.local%len(pe.node.contexts)]
+	const idleSpins = 64
+	spins := 0
+	for !m.stopped.Load() {
+		progressed := false
+		// Pull everything available into the local priority queue, then run
+		// the best message.
+		for {
+			v, ok := pe.queue.Dequeue()
+			if !ok {
+				break
+			}
+			msg := v.(*Message)
+			msg.seq = pe.seq
+			pe.seq++
+			heap.Push(&pe.prioq, msg)
+		}
+		if pe.prioq.Len() > 0 {
+			msg := heap.Pop(&pe.prioq).(*Message)
+			pe.invoke(msg)
+			progressed = true
+		}
+		if selfAdvance {
+			if myCtx.Advance() > 0 {
+				progressed = true
+			}
+		}
+		if progressed {
+			spins = 0
+			continue
+		}
+		pe.idles.Add(1)
+		spins++
+		if spins < idleSpins {
+			// Idle poll: on hardware this spins on the queue's L2 atomic
+			// counter (~60-cycle loads), leaving the core to active threads.
+			// Yield so co-scheduled PEs get the core, the same effect.
+			runtime.Gosched()
+			continue
+		}
+		spins = 0
+		pe.wake.Wait()
+	}
+	// Drain-free exit: remaining messages are dropped at shutdown, like
+	// CsdExitScheduler.
+}
+
+func (pe *PE) invoke(msg *Message) {
+	m := pe.node.machine
+	if msg.Handler < 0 || msg.Handler >= len(m.handlers) {
+		panic(fmt.Sprintf("converse: PE %d received unknown handler %d", pe.id, msg.Handler))
+	}
+	pe.executed.Add(1)
+	m.handlers[msg.Handler](pe, msg)
+}
+
+// msgHeap orders messages by (Prio, seq): Charm++'s prioritized scheduler
+// queue with FIFO tie-break.
+type msgHeap []*Message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].Prio != h[j].Prio {
+		return h[i].Prio < h[j].Prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(*Message)) }
+func (h *msgHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,106 @@
+package converse
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"blueq/internal/pami"
+)
+
+// The rendezvous protocol for large messages (paper §III): instead of
+// pushing a large payload eagerly, the sender ships a short header with
+// the address of the source buffer (a registered memory region); the
+// destination's dispatch callback issues an RDMA read (PAMI_Rget) to pull
+// the payload, and on completion sends an acknowledgement packet so the
+// sender can free the source buffer.
+
+// RendezvousThreshold is the payload size (modelled bytes) above which
+// inter-node sends switch from the eager path to rendezvous, matching the
+// Charm++ BG/Q machine layer's cutover.
+const RendezvousThreshold = 16 * 1024
+
+// rendezvousHeader is the short packet that initiates the protocol.
+type rendezvousHeader struct {
+	msg    *Message           // scheduler message (payload cleared for []byte)
+	region *pami.MemoryRegion // registered source buffer ([]byte payloads)
+	seq    uint64
+	srcCtx int
+}
+
+// rendezvousAck frees the sender-side buffer.
+type rendezvousAck struct {
+	seq uint64
+}
+
+// RendezvousStats counts protocol events; retrieved with
+// Machine.RendezvousStats for tests and reports.
+type RendezvousStats struct {
+	Started   atomic.Int64 // headers sent
+	Pulled    atomic.Int64 // RDMA reads completed at destinations
+	Completed atomic.Int64 // acks received (source buffer freed)
+}
+
+// registerRendezvous wires the header and ack dispatch ids on every
+// context of every node. Called from NewMachine.
+func (m *Machine) registerRendezvous() {
+	for r := 0; r < m.cfg.Nodes; r++ {
+		node := m.nodes[r]
+		for _, ctx := range node.contexts {
+			ctx.RegisterDispatch(m.dispRendezvous, node.onRendezvousHeader)
+			ctx.RegisterDispatch(m.dispRzvAck, node.onRendezvousAck)
+		}
+	}
+}
+
+// sendRendezvous runs the sender side: register the payload (a real
+// memory region for []byte payloads; a reference otherwise) and push the
+// header with Send_immediate.
+func (pe *PE) sendRendezvous(target *PE, msg *Message) error {
+	m := pe.node.machine
+	hdr := &rendezvousHeader{msg: msg, seq: m.rzvSeq.Add(1), srcCtx: pe.local % len(pe.node.contexts)}
+	if b, ok := msg.Payload.([]byte); ok {
+		// Real zero-copy path: the payload stays in the registered region
+		// until the destination pulls it.
+		hdr.region = &pami.MemoryRegion{Data: b}
+		clone := *msg
+		clone.Payload = nil
+		hdr.msg = &clone
+	}
+	m.rzvStats.Started.Add(1)
+	ctx := pe.node.contexts[hdr.srcCtx]
+	return ctx.SendImmediate(target.node.rank, target.local, m.dispRendezvous, hdr, 64)
+}
+
+// onRendezvousHeader runs the destination side: pull the payload with an
+// RDMA read, enqueue the message for the destination PE, and acknowledge.
+func (n *SMPNode) onRendezvousHeader(src int, data any, bytes int) {
+	m := n.machine
+	hdr := data.(*rendezvousHeader)
+	msg := hdr.msg
+	if hdr.region != nil {
+		buf := make([]byte, len(hdr.region.Data))
+		// Any context can issue the Rget; use the receiving PE's.
+		ctx := n.contexts[msg.destLocal%len(n.contexts)]
+		if err := ctx.Rget(buf, hdr.region, 0, len(buf), nil); err != nil {
+			panic(fmt.Sprintf("converse: rendezvous Rget failed: %v", err))
+		}
+		clone := *msg
+		clone.Payload = buf
+		msg = &clone
+	}
+	m.rzvStats.Pulled.Add(1)
+	n.pes[msg.destLocal].enqueue(msg)
+	// Acknowledge so the source buffer can be freed.
+	ctx := n.contexts[msg.destLocal%len(n.contexts)]
+	if err := ctx.SendImmediate(src, hdr.srcCtx, m.dispRzvAck, rendezvousAck{seq: hdr.seq}, 16); err != nil {
+		panic(fmt.Sprintf("converse: rendezvous ack failed: %v", err))
+	}
+}
+
+// onRendezvousAck completes the protocol at the sender.
+func (n *SMPNode) onRendezvousAck(src int, data any, bytes int) {
+	n.machine.rzvStats.Completed.Add(1)
+}
+
+// RendezvousStats exposes the protocol counters.
+func (m *Machine) RendezvousStats() *RendezvousStats { return &m.rzvStats }

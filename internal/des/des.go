@@ -1,0 +1,159 @@
+// Package des is a minimal discrete-event simulation engine used by
+// internal/cluster to model Blue Gene/Q and Blue Gene/P machines at scales
+// (up to 16,384 nodes) that cannot be executed natively.
+//
+// Events carry a virtual time in seconds; the engine pops them in
+// non-decreasing time order. Resources model exclusive servers (a hardware
+// thread, a network link): work scheduled on a resource starts no earlier
+// than both the requested time and the resource's availability, providing
+// simple FCFS queueing.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64 // FIFO tie-break for equal times
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	count  uint64
+}
+
+// New returns an engine at virtual time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// panics: it would violate causality and indicates a model bug.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling at %g before now %g", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("des: non-finite event time %g", t))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn delay seconds from now.
+func (e *Engine) After(delay float64, fn func()) { e.At(e.now+delay, fn) }
+
+// Step runs the earliest pending event, returning false if none remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.time
+	e.count++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty, returning the final time.
+func (e *Engine) Run() float64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= limit. Events scheduled beyond the
+// limit remain queued; the clock advances to min(limit, last event time).
+func (e *Engine) RunUntil(limit float64) {
+	for len(e.events) > 0 && e.events[0].time <= limit {
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Processed returns the total number of events executed.
+func (e *Engine) Processed() uint64 { return e.count }
+
+// Resource is an exclusive FCFS server (a hardware thread, a link, an
+// injection FIFO). Acquire returns the time at which a request arriving at
+// time t and holding the resource for dur will complete, advancing the
+// resource's availability. Busy time is accumulated for utilization
+// reports.
+type Resource struct {
+	Name string
+	free float64 // next time the resource is available
+	busy float64 // accumulated busy seconds
+	jobs uint64
+}
+
+// NewResource returns a resource free from time zero.
+func NewResource(name string) *Resource { return &Resource{Name: name} }
+
+// Acquire books the resource for dur seconds starting no earlier than t,
+// returning (start, end) of the booking.
+func (r *Resource) Acquire(t, dur float64) (start, end float64) {
+	start = t
+	if r.free > start {
+		start = r.free
+	}
+	end = start + dur
+	r.free = end
+	r.busy += dur
+	r.jobs++
+	return start, end
+}
+
+// FreeAt returns the time the resource next becomes available.
+func (r *Resource) FreeAt() float64 { return r.free }
+
+// BusyTime returns total booked seconds.
+func (r *Resource) BusyTime() float64 { return r.busy }
+
+// Jobs returns the number of bookings.
+func (r *Resource) Jobs() uint64 { return r.jobs }
+
+// Utilization returns busy time divided by the horizon (0 if horizon<=0).
+func (r *Resource) Utilization(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	u := r.busy / horizon
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,189 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4, 1.5}
+	for _, tm := range times {
+		tm := tm
+		e.At(tm, func() { got = append(got, tm) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Fatalf("ran %d events, want %d", len(got), len(times))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("final time %v, want 5", e.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1.0, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	e := New()
+	var trace []string
+	e.After(1, func() {
+		trace = append(trace, "a")
+		e.After(2, func() { trace = append(trace, "c") })
+		e.After(1, func() { trace = append(trace, "b") })
+	})
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("end = %v, want 3", end)
+	}
+	if len(trace) != 3 || trace[0] != "a" || trace[1] != "b" || trace[2] != "c" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	ran := 0
+	for _, tm := range []float64{1, 2, 3, 10} {
+		e.At(tm, func() { ran++ })
+	}
+	e.RunUntil(5)
+	if ran != 3 {
+		t.Fatalf("ran %d events, want 3", ran)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("now = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 4 || e.Now() != 10 {
+		t.Fatalf("after Run: ran=%d now=%v", ran, e.Now())
+	}
+}
+
+func TestResourceFCFS(t *testing.T) {
+	r := NewResource("thread")
+	s1, e1 := r.Acquire(0, 2)
+	if s1 != 0 || e1 != 2 {
+		t.Fatalf("first booking (%v,%v)", s1, e1)
+	}
+	// Arrives at 1 but resource busy until 2.
+	s2, e2 := r.Acquire(1, 3)
+	if s2 != 2 || e2 != 5 {
+		t.Fatalf("second booking (%v,%v), want (2,5)", s2, e2)
+	}
+	// Arrives after free time: starts immediately.
+	s3, e3 := r.Acquire(10, 1)
+	if s3 != 10 || e3 != 11 {
+		t.Fatalf("third booking (%v,%v)", s3, e3)
+	}
+	if r.BusyTime() != 6 {
+		t.Fatalf("busy = %v, want 6", r.BusyTime())
+	}
+	if r.Jobs() != 3 {
+		t.Fatalf("jobs = %d", r.Jobs())
+	}
+	if u := r.Utilization(12); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	r := NewResource("x")
+	r.Acquire(0, 100)
+	if u := r.Utilization(10); u != 1 {
+		t.Fatalf("utilization = %v, want clamped 1", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Fatalf("utilization at zero horizon = %v", u)
+	}
+}
+
+// Property: for any set of event delays, the observed firing sequence is
+// the sorted sequence, and the engine's clock never goes backward.
+func TestQuickMonotoneClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		last := -1.0
+		ok := true
+		for _, d := range delays {
+			e.At(float64(d)/100, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok && e.Processed() == uint64(len(delays))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: resource end times are non-decreasing in booking order, and
+// total busy equals the sum of durations.
+func TestQuickResourceConservation(t *testing.T) {
+	f := func(reqs []uint8) bool {
+		r := NewResource("x")
+		sum := 0.0
+		lastEnd := 0.0
+		rng := rand.New(rand.NewSource(42))
+		for _, d := range reqs {
+			dur := float64(d) / 10
+			_, end := r.Acquire(rng.Float64()*5, dur)
+			if end < lastEnd {
+				return false
+			}
+			lastEnd = end
+			sum += dur
+		}
+		return r.BusyTime() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.After(float64(i%100), func() {})
+	}
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,258 @@
+// Package fft provides one-dimensional complex-to-complex fast Fourier
+// transforms for arbitrary lengths: mixed-radix Cooley-Tukey for smooth
+// sizes (the PME grids 216, 864, 1080 factor into 2·3·5) and Bluestein's
+// chirp-z algorithm for large prime factors.
+//
+// It is the serial kernel under internal/fft3d's pencil-decomposed 3D FFT
+// and internal/pme, standing in for the ESSL/FFTW library NAMD links
+// against on Blue Gene/Q.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// Plan holds precomputed twiddle factors for transforms of one length.
+// Plans are safe for concurrent use by multiple goroutines once created.
+type Plan struct {
+	n  int
+	tw []complex128 // tw[t] = exp(-2πi t/n)
+
+	// Bluestein state (nil unless n has a prime factor > naiveLimit)
+	blu *bluestein
+}
+
+// naiveLimit is the largest prime factor transformed by direct DFT before
+// switching to Bluestein.
+const naiveLimit = 61
+
+var planCache sync.Map // int -> *Plan
+
+// NewPlan returns a plan for length n (n >= 1). Plans are cached globally;
+// repeated calls with the same n return the same plan.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fft: invalid length %d", n)
+	}
+	if p, ok := planCache.Load(n); ok {
+		return p.(*Plan), nil
+	}
+	p := &Plan{n: n, tw: make([]complex128, n)}
+	for t := 0; t < n; t++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(t) / float64(n))
+		p.tw[t] = complex(c, s)
+	}
+	if f := largestPrimeFactor(n); f > naiveLimit {
+		p.blu = newBluestein(n)
+	}
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*Plan), nil
+}
+
+// MustPlan is NewPlan for known-good lengths; it panics on error.
+func MustPlan(n int) *Plan {
+	p, err := NewPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+func largestPrimeFactor(n int) int {
+	largest := 1
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			largest = f
+			n /= f
+		}
+	}
+	if n > 1 && n > largest {
+		largest = n
+	}
+	return largest
+}
+
+func smallestFactor(n int) int {
+	for f := 2; f*f <= n; f++ {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return n
+}
+
+// Forward computes the unnormalized forward DFT of x in place.
+// X[k] = Σ x[j]·exp(-2πi jk/n). len(x) must equal Len().
+func (p *Plan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the inverse DFT of x in place, scaled by 1/n, so that
+// Inverse(Forward(x)) == x.
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, true)
+	inv := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: input length %d != plan length %d", len(x), p.n))
+	}
+	if inverse {
+		// Conjugate trick: IDFT(x) = conj(DFT(conj(x))) (unscaled).
+		conjugate(x)
+		p.transform(x, false)
+		conjugate(x)
+		return
+	}
+	if p.blu != nil {
+		p.blu.transform(x)
+		return
+	}
+	out := p.rec(x)
+	copy(x, out)
+}
+
+func conjugate(x []complex128) {
+	for i, v := range x {
+		x[i] = cmplx.Conj(v)
+	}
+}
+
+// rec is the recursive mixed-radix decimation-in-time transform; it returns
+// a freshly allocated output (inputs of recursive calls are strided views
+// copied out, so allocation is unavoidable in this formulation and the
+// per-call slices are small).
+func (p *Plan) rec(x []complex128) []complex128 {
+	return recHelper(x, p.n, p.tw, p.n)
+}
+
+// recHelper transforms x of length n, with twiddles tw defined for root
+// length rootN (tw[t] = exp(-2πi t/rootN)); n must divide rootN.
+func recHelper(x []complex128, n int, tw []complex128, rootN int) []complex128 {
+	if n == 1 {
+		return []complex128{x[0]}
+	}
+	r := smallestFactor(n)
+	if r == n {
+		// Prime length: direct DFT (small primes only; Bluestein handles
+		// large primes at the top level).
+		out := make([]complex128, n)
+		step := rootN / n
+		for k := 0; k < n; k++ {
+			var sum complex128
+			for j := 0; j < n; j++ {
+				sum += x[j] * tw[(j*k*step)%rootN]
+			}
+			out[k] = sum
+		}
+		return out
+	}
+	m := n / r
+	// Decimate: sub[j][k] = x[k*r+j], transform each recursively.
+	subs := make([][]complex128, r)
+	buf := make([]complex128, n)
+	for j := 0; j < r; j++ {
+		sub := buf[j*m : (j+1)*m]
+		for k := 0; k < m; k++ {
+			sub[k] = x[k*r+j]
+		}
+		subs[j] = recHelper(sub, m, tw, rootN)
+	}
+	// Combine: X[k] = Σ_j tw[j*k] · Y_j[k mod m].
+	out := make([]complex128, n)
+	step := rootN / n
+	for k := 0; k < n; k++ {
+		var sum complex128
+		km := k % m
+		for j := 0; j < r; j++ {
+			sum += subs[j][km] * tw[(j*k*step)%rootN]
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Bluestein chirp-z for large prime lengths
+
+type bluestein struct {
+	n     int
+	m     int // power of two >= 2n-1
+	chirp []complex128
+	fb    []complex128 // forward transform of the chirp filter
+	plan  *Plan        // power-of-two plan of length m
+}
+
+func newBluestein(n int) *bluestein {
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	b := &bluestein{n: n, m: m, chirp: make([]complex128, n)}
+	for k := 0; k < n; k++ {
+		// exp(-iπ k²/n); reduce k² mod 2n to keep the argument accurate.
+		t := (int64(k) * int64(k)) % int64(2*n)
+		s, c := math.Sincos(-math.Pi * float64(t) / float64(n))
+		b.chirp[k] = complex(c, s)
+	}
+	b.plan = MustPlan(m) // power of two: no recursion into Bluestein
+	fb := make([]complex128, m)
+	fb[0] = cmplx.Conj(b.chirp[0])
+	for k := 1; k < n; k++ {
+		fb[k] = cmplx.Conj(b.chirp[k])
+		fb[m-k] = cmplx.Conj(b.chirp[k])
+	}
+	b.plan.Forward(fb)
+	b.fb = fb
+	return b
+}
+
+func (b *bluestein) transform(x []complex128) {
+	fa := make([]complex128, b.m)
+	for k := 0; k < b.n; k++ {
+		fa[k] = x[k] * b.chirp[k]
+	}
+	b.plan.Forward(fa)
+	for i := range fa {
+		fa[i] *= b.fb[i]
+	}
+	b.plan.Inverse(fa)
+	for k := 0; k < b.n; k++ {
+		x[k] = fa[k] * b.chirp[k]
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Convenience wrappers
+
+// Forward transforms x in place with a cached plan.
+func Forward(x []complex128) { MustPlan(len(x)).Forward(x) }
+
+// Inverse inverse-transforms x in place (scaled) with a cached plan.
+func Inverse(x []complex128) { MustPlan(len(x)).Inverse(x) }
+
+// DFTNaive computes the DFT directly in O(n²); reference for tests.
+func DFTNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(j*k) / float64(n)
+			s, c := math.Sincos(ang)
+			sum += x[j] * complex(c, s)
+		}
+		out[k] = sum
+	}
+	return out
+}

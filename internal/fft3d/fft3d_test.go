@@ -1,0 +1,226 @@
+package fft3d
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"time"
+
+	"blueq/internal/charm"
+	"blueq/internal/converse"
+	"blueq/internal/m2m"
+)
+
+func gridMaxErr(a, b *Grid) float64 {
+	m := 0.0
+	for i := range a.Data {
+		if e := cmplx.Abs(a.Data[i] - b.Data[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestSerialRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGrid(8, 6, 10)
+	g.Fill(func(x, y, z int) complex128 {
+		return complex(rng.NormFloat64(), rng.NormFloat64())
+	})
+	orig := g.Clone()
+	SerialForward(g)
+	SerialInverse(g)
+	if e := gridMaxErr(g, orig); e > 1e-10 {
+		t.Fatalf("serial round-trip error %g", e)
+	}
+}
+
+// Serial 3D FFT against the direct 3D DFT definition on a tiny grid.
+func TestSerialMatchesDirectDFT(t *testing.T) {
+	const nx, ny, nz = 4, 3, 5
+	rng := rand.New(rand.NewSource(2))
+	g := NewGrid(nx, ny, nz)
+	g.Fill(func(x, y, z int) complex128 {
+		return complex(rng.NormFloat64(), rng.NormFloat64())
+	})
+	want := NewGrid(nx, ny, nz)
+	for kx := 0; kx < nx; kx++ {
+		for ky := 0; ky < ny; ky++ {
+			for kz := 0; kz < nz; kz++ {
+				var sum complex128
+				for x := 0; x < nx; x++ {
+					for y := 0; y < ny; y++ {
+						for z := 0; z < nz; z++ {
+							ang := -2 * math.Pi * (float64(kx*x)/nx + float64(ky*y)/ny + float64(kz*z)/nz)
+							s, c := math.Sincos(ang)
+							sum += g.At(x, y, z) * complex(c, s)
+						}
+					}
+				}
+				want.Set(kx, ky, kz, sum)
+			}
+		}
+	}
+	SerialForward(g)
+	if e := gridMaxErr(g, want); e > 1e-9 {
+		t.Fatalf("serial vs direct DFT error %g", e)
+	}
+}
+
+func TestProcGrid(t *testing.T) {
+	cases := map[int][2]int{1: {1, 1}, 2: {1, 2}, 4: {2, 2}, 6: {2, 3}, 8: {2, 4}, 16: {4, 4}, 12: {3, 4}}
+	for p, want := range cases {
+		pr, pc := procGrid(p)
+		if pr != want[0] || pc != want[1] {
+			t.Errorf("procGrid(%d) = (%d,%d), want %v", p, pr, pc, want)
+		}
+		if pr*pc != p {
+			t.Errorf("procGrid(%d) does not multiply out", p)
+		}
+	}
+}
+
+func TestBlockPartition(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {8, 4}, {7, 7}, {5, 8}} {
+		total := 0
+		prev := 0
+		for i := 0; i < tc.p; i++ {
+			b := block(i, tc.n, tc.p)
+			if b.Lo != prev {
+				t.Fatalf("block(%d,%d,%d) not contiguous", i, tc.n, tc.p)
+			}
+			prev = b.Hi
+			total += b.Len()
+		}
+		if total != tc.n {
+			t.Fatalf("blocks of %d/%d cover %d", tc.n, tc.p, total)
+		}
+	}
+}
+
+// runEngine executes `iters` forward+backward iterations and returns the
+// engine for inspection.
+func runEngine(t *testing.T, cfg Config, conv converse.Config, iters int) *Engine {
+	t.Helper()
+	rt, err := charm.NewRuntime(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mgr *m2m.Manager
+	if cfg.Transport == M2M {
+		mgr = m2m.NewManager(rt.Machine())
+	}
+	eng, err := New(rt, mgr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetOnComplete(func(pe *converse.PE, iter int) {
+		if iter >= iters {
+			rt.Shutdown()
+			return
+		}
+		if err := eng.Start(pe); err != nil {
+			t.Errorf("restart: %v", err)
+			rt.Shutdown()
+		}
+	})
+	done := make(chan struct{})
+	go func() {
+		rt.Run(func(pe *converse.PE) {
+			if err := eng.Start(pe); err != nil {
+				t.Errorf("start: %v", err)
+				rt.Shutdown()
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("fft3d run did not complete")
+	}
+	if got := eng.Iterations(); got != int64(iters) {
+		t.Fatalf("iterations = %d, want %d", got, iters)
+	}
+	return eng
+}
+
+func randomInput(seed int64) func(x, y, z int) complex128 {
+	return func(x, y, z int) complex128 {
+		// Deterministic pseudo-random per point, independent of evaluation
+		// order (elements initialize in parallel).
+		h := uint64(x)*0x9E3779B97F4A7C15 ^ uint64(y)*0xC2B2AE3D27D4EB4F ^ uint64(z)*0x165667B19E3779F9 ^ uint64(seed)
+		h ^= h >> 33
+		h *= 0xFF51AFD7ED558CCD
+		h ^= h >> 33
+		re := float64(h&0xFFFF)/65535 - 0.5
+		im := float64((h>>16)&0xFFFF)/65535 - 0.5
+		return complex(re, im)
+	}
+}
+
+// The distributed forward transform must equal the serial one, and the
+// round trip must restore the input — for both transports, several
+// machine shapes, and uneven grids.
+func TestDistributedMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name string
+		conv converse.Config
+		grid [3]int
+		tr   Transport
+	}{
+		{"p2p-1pe", converse.Config{Nodes: 1, WorkersPerNode: 1, Mode: converse.ModeSMP}, [3]int{8, 8, 8}, P2P},
+		{"p2p-4pe", converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP}, [3]int{8, 8, 8}, P2P},
+		{"m2m-4pe", converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP}, [3]int{8, 8, 8}, M2M},
+		{"m2m-8pe-comm", converse.Config{Nodes: 2, WorkersPerNode: 4, Mode: converse.ModeSMPComm, CommThreads: 1}, [3]int{16, 8, 12}, M2M},
+		{"p2p-uneven", converse.Config{Nodes: 3, WorkersPerNode: 2, Mode: converse.ModeSMP}, [3]int{10, 9, 7}, P2P},
+		{"m2m-uneven", converse.Config{Nodes: 3, WorkersPerNode: 2, Mode: converse.ModeSMP}, [3]int{10, 9, 7}, M2M},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			input := randomInput(42)
+			cfg := Config{
+				NX: tc.grid[0], NY: tc.grid[1], NZ: tc.grid[2],
+				Transport: tc.tr, Input: input, CaptureForward: true,
+			}
+			eng := runEngine(t, cfg, tc.conv, 1)
+			// Reference.
+			ref := NewGrid(cfg.NX, cfg.NY, cfg.NZ)
+			ref.Fill(input)
+			SerialForward(ref)
+			if e := gridMaxErr(eng.Forward(), ref); e > 1e-9*float64(cfg.NX*cfg.NY*cfg.NZ) {
+				t.Fatalf("distributed forward differs from serial by %g", e)
+			}
+			if e := eng.RoundTripError(); e > 1e-9*float64(cfg.NX) {
+				t.Fatalf("round-trip error %g", e)
+			}
+		})
+	}
+}
+
+// Multiple chained iterations must stay numerically stable and reuse the
+// persistent m2m handles.
+func TestMultipleIterations(t *testing.T) {
+	input := randomInput(7)
+	cfg := Config{NX: 8, NY: 8, NZ: 8, Transport: M2M, Input: input}
+	conv := converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMPComm, CommThreads: 1}
+	eng := runEngine(t, cfg, conv, 4)
+	if e := eng.RoundTripError(); e > 1e-8 {
+		t.Fatalf("round-trip error after 4 iterations: %g", e)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rt, err := charm.NewRuntime(converse.Config{Nodes: 1, WorkersPerNode: 1, Mode: converse.ModeSMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(rt, nil, Config{NX: 0, NY: 4, NZ: 4}); err == nil {
+		t.Fatal("zero extent accepted")
+	}
+	if _, err := New(rt, nil, Config{NX: 4, NY: 4, NZ: 4, Transport: M2M}); err == nil {
+		t.Fatal("M2M without manager accepted")
+	}
+}

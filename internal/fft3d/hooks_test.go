@@ -1,0 +1,126 @@
+package fft3d
+
+import (
+	"math/cmplx"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blueq/internal/charm"
+	"blueq/internal/converse"
+	"blueq/internal/m2m"
+)
+
+// A constant filter of c must scale the round-tripped grid by c.
+func TestFilterScalesRoundTrip(t *testing.T) {
+	input := randomInput(21)
+	const scale = 2.5
+	cfg := Config{
+		NX: 8, NY: 8, NZ: 8, Transport: P2P, Input: input,
+		Filter: func(kx, ky, kz int, v complex128) complex128 { return v * complex(scale, 0) },
+	}
+	conv := converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP}
+	rt, err := charm.NewRuntime(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(rt, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetOnComplete(func(pe *converse.PE, iter int) { rt.Shutdown() })
+	done := make(chan struct{})
+	go func() {
+		rt.Run(func(pe *converse.PE) {
+			if err := eng.Start(pe); err != nil {
+				t.Errorf("start: %v", err)
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("did not complete")
+	}
+	for peID := 0; peID < rt.NumPEs(); peID++ {
+		xb, yb := eng.ZSpans(peID)
+		data := eng.ZData(peID)
+		i := 0
+		for x := xb.Lo; x < xb.Hi; x++ {
+			for y := yb.Lo; y < yb.Hi; y++ {
+				for z := 0; z < 8; z++ {
+					want := input(x, y, z) * complex(scale, 0)
+					if cmplx.Abs(data[i]-want) > 1e-9 {
+						t.Fatalf("PE %d (%d,%d,%d): got %v want %v", peID, x, y, z, data[i], want)
+					}
+					i++
+				}
+			}
+		}
+	}
+}
+
+// StartLocal on every PE must be equivalent to the broadcast Start, and the
+// local-complete hook must fire once per PE per iteration.
+func TestStartLocalAndLocalComplete(t *testing.T) {
+	input := randomInput(22)
+	cfg := Config{NX: 8, NY: 6, NZ: 10, Transport: M2M, Input: input}
+	conv := converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP}
+	rt, err := charm.NewRuntime(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := m2m.NewManager(rt.Machine())
+	eng, err := New(rt, mgr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var localFires atomic.Int64
+	eng.SetOnLocalComplete(func(pe *converse.PE) { localFires.Add(1) })
+	eng.SetOnComplete(func(pe *converse.PE, iter int) { rt.Shutdown() })
+	// Kick each PE via a trigger group so StartLocal runs in an entry.
+	grp := rt.NewGroup("kick", func(pe int) charm.Element { return nil })
+	eKick := grp.Entry(func(pe *converse.PE, el charm.Element, _ any) { eng.StartLocal(pe) })
+	done := make(chan struct{})
+	go func() {
+		rt.Run(func(pe *converse.PE) {
+			if err := grp.Broadcast(pe, eKick, nil, 8); err != nil {
+				t.Errorf("kick: %v", err)
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("did not complete")
+	}
+	if got := localFires.Load(); got != int64(rt.NumPEs()) {
+		t.Fatalf("local complete fired %d times, want %d", got, rt.NumPEs())
+	}
+	if e := eng.RoundTripError(); e > 1e-9 {
+		t.Fatalf("round-trip error %g", e)
+	}
+}
+
+func TestZOwnerOfConsistent(t *testing.T) {
+	conv := converse.Config{Nodes: 3, WorkersPerNode: 2, Mode: converse.ModeSMP}
+	rt, err := charm.NewRuntime(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(rt, nil, Config{NX: 10, NY: 7, NZ: 5, Transport: P2P})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 7; y++ {
+			pe := eng.ZOwnerOf(x, y)
+			xb, yb := eng.ZSpans(pe)
+			if x < xb.Lo || x >= xb.Hi || y < yb.Lo || y >= yb.Hi {
+				t.Fatalf("ZOwnerOf(%d,%d) = PE %d owning x%v y%v", x, y, pe, xb, yb)
+			}
+		}
+	}
+}

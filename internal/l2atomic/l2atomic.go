@@ -1,0 +1,126 @@
+// Package l2atomic provides a software implementation of the Blue Gene/Q
+// L2-cache atomic unit.
+//
+// On BG/Q the L2 cache contains integer adders so that loads and stores to
+// specially mapped addresses perform atomic read-modify-write operations
+// (load-increment, store-add, store-or, store-xor) on 64-bit words without
+// acquiring locks. The most important primitive for the Charm++ runtime is
+// the *bounded load-increment*: a load on a counter atomically increments it
+// and returns the old value, unless the counter has reached the bound stored
+// in the adjacent memory word, in which case the operation fails. The L2
+// unit can service many such requests concurrently, which is what makes
+// lockless multi-producer queues cheap on that machine.
+//
+// This package reproduces those semantics with sync/atomic compare-and-swap
+// loops. The serialization point (one 64-bit word) and the failure contract
+// (increment fails exactly when counter == bound) match the hardware, so
+// algorithms built on top — lockless queues, messaging counters, memory
+// pools — behave identically, modulo absolute cycle counts.
+package l2atomic
+
+import "sync/atomic"
+
+// Counter is a 64-bit word serviced by the simulated L2 atomic unit.
+// The zero value is a counter at zero. Counters must not be copied after
+// first use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Load returns the current value without modifying it. On BG/Q this is a
+// plain load of the base address of the L2 window.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Store sets the counter. Used for initialization and reset only; concurrent
+// use with increments is allowed but, as on hardware, provides no combined
+// atomicity beyond the single word.
+func (c *Counter) Store(x uint64) { c.v.Store(x) }
+
+// LoadIncrement atomically increments the counter and returns its previous
+// value. This is the unbounded L2 load-increment operation.
+func (c *Counter) LoadIncrement() uint64 { return c.v.Add(1) - 1 }
+
+// StoreAdd atomically adds delta to the counter (L2 store-add).
+func (c *Counter) StoreAdd(delta uint64) { c.v.Add(delta) }
+
+// StoreOr atomically ORs mask into the counter (L2 store-or).
+func (c *Counter) StoreOr(mask uint64) {
+	for {
+		old := c.v.Load()
+		if c.v.CompareAndSwap(old, old|mask) {
+			return
+		}
+	}
+}
+
+// StoreXor atomically XORs mask into the counter (L2 store-xor).
+func (c *Counter) StoreXor(mask uint64) {
+	for {
+		old := c.v.Load()
+		if c.v.CompareAndSwap(old, old^mask) {
+			return
+		}
+	}
+}
+
+// CompareAndSwap performs a CAS on the counter word. The hardware L2 unit
+// does not expose CAS; it is provided here for tests and for baseline
+// data structures that model non-L2 synchronization.
+func (c *Counter) CompareAndSwap(old, new uint64) bool {
+	return c.v.CompareAndSwap(old, new)
+}
+
+// BoundedCounter is a pair of adjacent L2 words: a counter and its bound.
+// A bounded load-increment succeeds, returning the counter's previous value,
+// only while counter < bound; once counter == bound the increment fails and
+// the counter is left unchanged. The consumer side raises the bound with
+// StoreAddBound to open more slots.
+//
+// The zero value has counter == bound == 0: all increments fail until the
+// bound is raised.
+type BoundedCounter struct {
+	counter atomic.Uint64
+	bound   atomic.Uint64
+}
+
+// Reset sets the counter and bound. Not atomic with respect to concurrent
+// increments; callers quiesce producers first, as on hardware.
+func (b *BoundedCounter) Reset(counter, bound uint64) {
+	b.counter.Store(counter)
+	b.bound.Store(bound)
+}
+
+// BoundedLoadIncrement attempts the L2 bounded load-increment. It returns
+// the previous counter value and ok=true on success. It returns ok=false,
+// leaving the counter unchanged, if the counter has reached the bound.
+func (b *BoundedCounter) BoundedLoadIncrement() (old uint64, ok bool) {
+	for {
+		cur := b.counter.Load()
+		// The bound may be raised concurrently by the consumer; reading it
+		// after the counter is safe because a stale (smaller) bound can only
+		// cause a spurious failure, never an over-increment, matching the
+		// hardware's conservative behaviour.
+		if cur >= b.bound.Load() {
+			return cur, false
+		}
+		if b.counter.CompareAndSwap(cur, cur+1) {
+			return cur, true
+		}
+	}
+}
+
+// Counter returns the current counter value (plain load).
+func (b *BoundedCounter) Counter() uint64 { return b.counter.Load() }
+
+// Bound returns the current bound value (plain load).
+func (b *BoundedCounter) Bound() uint64 { return b.bound.Load() }
+
+// StoreAddBound atomically raises the bound by delta, opening delta more
+// successful increments. Called by the consumer after draining slots.
+func (b *BoundedCounter) StoreAddBound(delta uint64) { b.bound.Add(delta) }
+
+// Full reports whether the counter has reached the bound, i.e. the next
+// bounded increment would fail (absent a concurrent bound raise).
+func (b *BoundedCounter) Full() bool {
+	return b.counter.Load() >= b.bound.Load()
+}

@@ -1,0 +1,297 @@
+package l2atomic
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterLoadIncrement(t *testing.T) {
+	var c Counter
+	for i := uint64(0); i < 100; i++ {
+		if got := c.LoadIncrement(); got != i {
+			t.Fatalf("LoadIncrement = %d, want %d", got, i)
+		}
+	}
+	if c.Load() != 100 {
+		t.Fatalf("Load = %d, want 100", c.Load())
+	}
+}
+
+func TestCounterStoreAdd(t *testing.T) {
+	var c Counter
+	c.StoreAdd(7)
+	c.StoreAdd(5)
+	if c.Load() != 12 {
+		t.Fatalf("Load = %d, want 12", c.Load())
+	}
+}
+
+func TestCounterStoreOrXor(t *testing.T) {
+	var c Counter
+	c.StoreOr(0b1010)
+	c.StoreOr(0b0110)
+	if c.Load() != 0b1110 {
+		t.Fatalf("after OR: %b", c.Load())
+	}
+	c.StoreXor(0b0100)
+	if c.Load() != 0b1010 {
+		t.Fatalf("after XOR: %b", c.Load())
+	}
+	c.StoreXor(0b1010)
+	if c.Load() != 0 {
+		t.Fatalf("after second XOR: %b", c.Load())
+	}
+}
+
+func TestCounterCompareAndSwap(t *testing.T) {
+	var c Counter
+	c.Store(3)
+	if c.CompareAndSwap(4, 9) {
+		t.Fatal("CAS with wrong old value succeeded")
+	}
+	if !c.CompareAndSwap(3, 9) {
+		t.Fatal("CAS with right old value failed")
+	}
+	if c.Load() != 9 {
+		t.Fatalf("Load = %d, want 9", c.Load())
+	}
+}
+
+// Concurrent LoadIncrement must hand out each ticket exactly once.
+func TestCounterConcurrentIncrement(t *testing.T) {
+	const goroutines = 16
+	const perG = 2000
+	var c Counter
+	seen := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tickets := make([]uint64, 0, perG)
+			for i := 0; i < perG; i++ {
+				tickets = append(tickets, c.LoadIncrement())
+			}
+			seen[g] = tickets
+		}(g)
+	}
+	wg.Wait()
+	all := make(map[uint64]bool, goroutines*perG)
+	for _, ts := range seen {
+		for _, v := range ts {
+			if all[v] {
+				t.Fatalf("ticket %d handed out twice", v)
+			}
+			all[v] = true
+		}
+	}
+	if len(all) != goroutines*perG {
+		t.Fatalf("got %d distinct tickets, want %d", len(all), goroutines*perG)
+	}
+	if c.Load() != goroutines*perG {
+		t.Fatalf("final counter %d, want %d", c.Load(), goroutines*perG)
+	}
+}
+
+func TestBoundedCounterBasic(t *testing.T) {
+	var b BoundedCounter
+	if _, ok := b.BoundedLoadIncrement(); ok {
+		t.Fatal("zero-value bounded counter should fail increments")
+	}
+	b.Reset(0, 3)
+	for i := uint64(0); i < 3; i++ {
+		old, ok := b.BoundedLoadIncrement()
+		if !ok || old != i {
+			t.Fatalf("increment %d: old=%d ok=%v", i, old, ok)
+		}
+	}
+	if old, ok := b.BoundedLoadIncrement(); ok {
+		t.Fatalf("increment past bound succeeded with old=%d", old)
+	}
+	if !b.Full() {
+		t.Fatal("Full() = false at bound")
+	}
+	b.StoreAddBound(2)
+	if b.Full() {
+		t.Fatal("Full() = true after raising bound")
+	}
+	if old, ok := b.BoundedLoadIncrement(); !ok || old != 3 {
+		t.Fatalf("after bound raise: old=%d ok=%v", old, ok)
+	}
+}
+
+// The core L2 invariant: under arbitrary concurrency the counter never
+// exceeds the bound, and successful increments return unique tickets.
+func TestBoundedCounterNeverExceedsBound(t *testing.T) {
+	const goroutines = 12
+	const attempts = 5000
+	const bound = 1000
+	var b BoundedCounter
+	b.Reset(0, bound)
+	var mu sync.Mutex
+	got := map[uint64]bool{}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := map[uint64]bool{}
+			for i := 0; i < attempts; i++ {
+				if old, ok := b.BoundedLoadIncrement(); ok {
+					if old >= bound {
+						t.Errorf("ticket %d >= bound %d", old, bound)
+						return
+					}
+					if local[old] {
+						t.Errorf("duplicate ticket %d in one goroutine", old)
+						return
+					}
+					local[old] = true
+				}
+			}
+			mu.Lock()
+			for v := range local {
+				if got[v] {
+					t.Errorf("ticket %d from two goroutines", v)
+				}
+				got[v] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if b.Counter() != bound {
+		t.Fatalf("counter = %d, want saturated at %d", b.Counter(), bound)
+	}
+	if len(got) != bound {
+		t.Fatalf("handed out %d tickets, want %d", len(got), bound)
+	}
+}
+
+// Consumer raising the bound concurrently with producers still yields
+// exactly bound-total successes.
+func TestBoundedCounterConcurrentBoundRaise(t *testing.T) {
+	const producers = 8
+	const totalSlots = 4000
+	var b BoundedCounter
+	b.Reset(0, 1)
+	var successes Counter
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, ok := b.BoundedLoadIncrement(); ok {
+					successes.LoadIncrement()
+				}
+			}
+		}()
+	}
+	// Consumer opens slots one at a time, totalSlots-1 more beyond the first.
+	for i := 0; i < totalSlots-1; i++ {
+		b.StoreAddBound(1)
+	}
+	// Wait until producers consume everything.
+	for b.Counter() < totalSlots {
+	}
+	close(stop)
+	wg.Wait()
+	if successes.Load() != totalSlots {
+		t.Fatalf("successes = %d, want %d", successes.Load(), totalSlots)
+	}
+	if b.Counter() != totalSlots {
+		t.Fatalf("counter = %d, want %d", b.Counter(), totalSlots)
+	}
+}
+
+func TestQuickStoreAddCommutes(t *testing.T) {
+	f := func(a, b uint32) bool {
+		var c1, c2 Counter
+		c1.StoreAdd(uint64(a))
+		c1.StoreAdd(uint64(b))
+		c2.StoreAdd(uint64(b))
+		c2.StoreAdd(uint64(a))
+		return c1.Load() == c2.Load() && c1.Load() == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickXorInvolution(t *testing.T) {
+	f := func(init, mask uint64) bool {
+		var c Counter
+		c.Store(init)
+		c.StoreXor(mask)
+		c.StoreXor(mask)
+		return c.Load() == init
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any sequence of bound raises and increments, the number of
+// successful increments equals min(attempts, slots opened).
+func TestQuickBoundedSaturation(t *testing.T) {
+	f := func(slots8, attempts8 uint8) bool {
+		slots := uint64(slots8)
+		attempts := int(attempts8)
+		var b BoundedCounter
+		b.Reset(0, slots)
+		succ := 0
+		for i := 0; i < attempts; i++ {
+			if _, ok := b.BoundedLoadIncrement(); ok {
+				succ++
+			}
+		}
+		want := uint64(attempts)
+		if slots < want {
+			want = slots
+		}
+		return uint64(succ) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLoadIncrement(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.LoadIncrement()
+		}
+	})
+}
+
+func BenchmarkBoundedLoadIncrement(b *testing.B) {
+	var bc BoundedCounter
+	bc.Reset(0, uint64(b.N)+1<<40)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			bc.BoundedLoadIncrement()
+		}
+	})
+}
+
+func BenchmarkMutexCounterBaseline(b *testing.B) {
+	var mu sync.Mutex
+	var n uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			n++
+			mu.Unlock()
+		}
+	})
+	_ = n
+}

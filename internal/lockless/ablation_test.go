@@ -1,0 +1,63 @@
+package lockless
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// Ring size: too small spills to the locked overflow queue, too large
+// wastes memory; the default 1024 matches the Charm++ machine layer.
+func BenchmarkAblationRingSize(b *testing.B) {
+	for _, ring := range []int{16, 64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("ring=%d", ring), func(b *testing.B) {
+			q := NewL2Queue(ring)
+			var wg sync.WaitGroup
+			const producers = 8
+			per := b.N/producers + 1
+			b.ResetTimer()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				got := 0
+				for got < per*producers {
+					if _, ok := q.Dequeue(); ok {
+						got++
+					}
+				}
+			}()
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						q.Enqueue(i)
+					}
+				}()
+			}
+			wg.Wait()
+			<-done
+			b.ReportMetric(float64(q.OverflowLen()), "overflow-left")
+		})
+	}
+}
+
+// The MPI-compatible ordered drain (locked overflow peek before every
+// dequeue) vs the Charm++ unordered drain — the §III-A overhead the paper
+// exploits Charm++'s lack of ordering requirements to avoid.
+func BenchmarkAblationOrderedWorkQueue(b *testing.B) {
+	for _, ordered := range []bool{false, true} {
+		name := map[bool]string{false: "charm-unordered", true: "mpi-ordered"}[ordered]
+		b.Run(name, func(b *testing.B) {
+			wq := NewWorkQueue(256, ordered)
+			nop := Work(func() {})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wq.Post(nop)
+				wq.RunOne()
+			}
+		})
+	}
+}

@@ -1,0 +1,210 @@
+// Package lockless implements the producer/consumer queues used by the
+// Charm++ machine layer on Blue Gene/Q (paper §III-A).
+//
+// The central structure is L2Queue, a multi-producer single-consumer queue
+// built on a pair of adjacent L2 atomic words: the producer counter and the
+// bound. A producer performs a bounded load-increment; the returned ticket
+// modulo the ring size selects the slot where the message pointer is
+// published. The consumer dequeues a slot and raises the bound by one,
+// re-opening the slot for producers. When the ring is full the bounded
+// increment fails and the producer falls back to a mutex-protected overflow
+// queue.
+//
+// Charm++ has no message-ordering requirement, so — unlike the PAMI variant
+// used for MPI, which must lock and consult the overflow queue before
+// raising the bound — the consumer here drains the L2 ring first and only
+// touches the overflow queue when the ring is empty. That keeps the fast
+// path completely lock-free, which is the optimization the paper calls out.
+//
+// MutexQueue provides the traditional lock-guarded queue as a baseline for
+// the ablation experiments (Fig. 8).
+package lockless
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"blueq/internal/l2atomic"
+)
+
+// DefaultRingSize is the number of slots in an L2Queue ring when the caller
+// passes size <= 0. 1024 slots matches the Charm++ BG/Q machine layer.
+const DefaultRingSize = 1024
+
+// Queue is the interface shared by the lockless and mutex-based
+// implementations, so the Converse machine layer can switch between them
+// (the Fig. 8 ablation).
+type Queue interface {
+	// Enqueue publishes a message. It never fails: lockless queues spill to
+	// their overflow queue when the ring is full.
+	Enqueue(msg any)
+	// Dequeue removes one message, returning ok=false if the queue is empty.
+	Dequeue() (msg any, ok bool)
+	// Empty reports whether the queue appears empty. It is advisory under
+	// concurrency, as on the hardware.
+	Empty() bool
+	// Len returns the approximate number of queued messages.
+	Len() int
+}
+
+// L2Queue is the lockless multi-producer single-consumer queue from the
+// paper. Only one consumer goroutine may call Dequeue; any number of
+// goroutines may call Enqueue.
+type L2Queue struct {
+	pc   l2atomic.BoundedCounter // producer counter + bound, adjacent words
+	mask uint64
+	ring []atomic.Pointer[slot]
+
+	// consumed counts messages the consumer has taken from the ring. Only
+	// the consumer writes it; it is atomic so that monitoring threads may
+	// call Empty/Len concurrently.
+	consumed atomic.Uint64
+
+	// Overflow queue, used by producers only when the ring is full and by
+	// the consumer only when the ring is empty.
+	omu      sync.Mutex
+	overflow []any
+	olen     atomic.Int64
+}
+
+// slot boxes a message so the ring can distinguish "published" from "empty"
+// even when the message itself is a nil interface.
+type slot struct{ msg any }
+
+// NewL2Queue returns a queue whose ring has the given number of slots,
+// rounded up to a power of two; size <= 0 selects DefaultRingSize.
+func NewL2Queue(size int) *L2Queue {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	q := &L2Queue{
+		mask: uint64(n - 1),
+		ring: make([]atomic.Pointer[slot], n),
+	}
+	q.pc.Reset(0, uint64(n))
+	return q
+}
+
+// Enqueue publishes msg. The fast path is a single bounded load-increment
+// plus a pointer store; when the ring is full the message goes to the
+// overflow queue under its mutex.
+func (q *L2Queue) Enqueue(msg any) {
+	if ticket, ok := q.pc.BoundedLoadIncrement(); ok {
+		q.ring[ticket&q.mask].Store(&slot{msg: msg})
+		return
+	}
+	q.omu.Lock()
+	q.overflow = append(q.overflow, msg)
+	q.omu.Unlock()
+	q.olen.Add(1)
+}
+
+// Dequeue removes one message. It drains the L2 ring first; the overflow
+// queue is consulted only when the ring is empty, exploiting Charm++'s lack
+// of ordering requirements.
+func (q *L2Queue) Dequeue() (any, bool) {
+	idx := q.consumed.Load() & q.mask
+	if s := q.ring[idx].Load(); s != nil {
+		q.ring[idx].Store(nil)
+		q.consumed.Add(1)
+		// Re-open the slot for producers.
+		q.pc.StoreAddBound(1)
+		return s.msg, true
+	}
+	if q.olen.Load() > 0 {
+		q.omu.Lock()
+		if len(q.overflow) > 0 {
+			msg := q.overflow[0]
+			q.overflow[0] = nil
+			q.overflow = q.overflow[1:]
+			q.omu.Unlock()
+			q.olen.Add(-1)
+			return msg, true
+		}
+		q.omu.Unlock()
+	}
+	return nil, false
+}
+
+// Empty reports whether both the ring and the overflow queue appear empty.
+// The idle-poll loop (paper §III-D) spins on exactly this check: a load of
+// the producer counter (an L2 atomic load on hardware, ~60 cycles) plus the
+// overflow length.
+func (q *L2Queue) Empty() bool {
+	return q.pc.Counter() == q.consumed.Load() && q.olen.Load() == 0
+}
+
+// Len returns the approximate queue length (ring + overflow).
+func (q *L2Queue) Len() int {
+	n := int(q.pc.Counter()-q.consumed.Load()) + int(q.olen.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// OverflowLen returns the number of messages currently in the overflow
+// queue; used by tests and by the machine-layer statistics.
+func (q *L2Queue) OverflowLen() int { return int(q.olen.Load()) }
+
+// RingCap returns the ring capacity in slots.
+func (q *L2Queue) RingCap() int { return len(q.ring) }
+
+// MutexQueue is the traditional producer/consumer queue guarded by a single
+// mutex. It is the baseline the paper replaces: under many concurrent
+// producers the mutex serializes all enqueues.
+type MutexQueue struct {
+	mu   sync.Mutex
+	head int
+	buf  []any
+}
+
+// NewMutexQueue returns an empty mutex-guarded queue.
+func NewMutexQueue() *MutexQueue { return &MutexQueue{} }
+
+// Enqueue appends msg under the queue mutex.
+func (q *MutexQueue) Enqueue(msg any) {
+	q.mu.Lock()
+	q.buf = append(q.buf, msg)
+	q.mu.Unlock()
+}
+
+// Dequeue removes the oldest message under the queue mutex.
+func (q *MutexQueue) Dequeue() (any, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.buf) {
+		if q.head > 0 {
+			q.buf = q.buf[:0]
+			q.head = 0
+		}
+		return nil, false
+	}
+	msg := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	return msg, true
+}
+
+// Empty reports whether the queue is empty.
+func (q *MutexQueue) Empty() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.head == len(q.buf)
+}
+
+// Len returns the queue length.
+func (q *MutexQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf) - q.head
+}
+
+var (
+	_ Queue = (*L2Queue)(nil)
+	_ Queue = (*MutexQueue)(nil)
+)

@@ -1,0 +1,208 @@
+// Package m2m implements the CmiDirectManytomany interface (paper §III-E):
+// a persistent neighbourhood-collective layer that lets a Charm++
+// application send a burst of short messages in one optimized call.
+//
+// Communication patterns (who sends what to whom, and what each receiver
+// expects) are registered once, ahead of time, on a Handle. During the
+// computation the application just calls Start; the implementation
+// generates the send list and — when communication threads are enabled —
+// parallelizes the injections across them by posting work to the node's
+// PAMI contexts, exactly as the BG/Q implementation posts work functions
+// that call PAMI send APIs. Receivers get a completion callback when the
+// expected burst has fully arrived.
+//
+// Handles sit at the Converse level with their own message handler, below
+// the Charm++ entry-method machinery, which is where the per-message
+// overhead saving comes from on the real machine.
+package m2m
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"blueq/internal/converse"
+)
+
+// Manager owns the m2m handler on a Converse machine. Create it (and all
+// handles) before the machine starts.
+type Manager struct {
+	machine *converse.Machine
+	handler int
+	mu      sync.Mutex
+	handles []*Handle
+}
+
+// m2mMsg is the wire format of one many-to-many message.
+type m2mMsg struct {
+	handle int
+	slot   int
+	src    int
+	data   any
+}
+
+// NewManager registers the m2m machinery on a machine. Must be called
+// before machine.Start.
+func NewManager(m *converse.Machine) *Manager {
+	mgr := &Manager{machine: m}
+	mgr.handler = m.RegisterHandler(mgr.dispatch)
+	return mgr
+}
+
+func (mgr *Manager) dispatch(pe *converse.PE, msg *converse.Message) {
+	mm := msg.Payload.(m2mMsg)
+	mgr.handles[mm.handle].deliver(pe, mm)
+}
+
+// Handle is one persistent many-to-many communication pattern
+// (CmiDirectManytomanyHandle).
+type Handle struct {
+	mgr *Manager
+	id  int
+
+	mu     sync.Mutex
+	sends  map[int][]sendOp   // srcPE -> operations
+	recvs  map[int]*recvState // dstPE -> expectations
+	frozen atomic.Bool
+}
+
+type sendOp struct {
+	dst   int
+	slot  int
+	bytes int
+	fetch func() any
+}
+
+type recvState struct {
+	expect   int
+	onMsg    func(pe *converse.PE, slot, srcPE int, data any)
+	onDone   func(pe *converse.PE)
+	received atomic.Int64
+}
+
+// NewHandle creates an empty handle. Registration calls must complete (on
+// all PEs' behalf) before the machine starts; Start may be called from any
+// PE each iteration thereafter.
+func (mgr *Manager) NewHandle() *Handle {
+	h := &Handle{
+		mgr:   mgr,
+		sends: make(map[int][]sendOp),
+		recvs: make(map[int]*recvState),
+	}
+	mgr.mu.Lock()
+	h.id = len(mgr.handles)
+	mgr.handles = append(mgr.handles, h)
+	mgr.mu.Unlock()
+	return h
+}
+
+// RegisterSend records that srcPE sends a message of the given size to
+// dstPE, tagged with slot. fetch supplies the payload at Start time, so
+// persistent buffers can be filled anew every iteration
+// (CmiDirectManytomanyInsertSend: base address + offset registered once).
+func (h *Handle) RegisterSend(srcPE, dstPE, slot, bytes int, fetch func() any) error {
+	if h.frozen.Load() {
+		return fmt.Errorf("m2m: RegisterSend after first Start")
+	}
+	npes := h.mgr.machine.NumPEs()
+	if srcPE < 0 || srcPE >= npes || dstPE < 0 || dstPE >= npes {
+		return fmt.Errorf("m2m: send %d->%d outside [0,%d)", srcPE, dstPE, npes)
+	}
+	h.mu.Lock()
+	h.sends[srcPE] = append(h.sends[srcPE], sendOp{dst: dstPE, slot: slot, bytes: bytes, fetch: fetch})
+	h.mu.Unlock()
+	return nil
+}
+
+// RegisterRecv declares that dstPE expects `expect` messages per iteration.
+// onMsg runs for each arriving message on the destination PE; onDone runs
+// once the full burst has arrived (CmiDirectManytomanyInsertRecv +
+// completion callback). The counter then resets, making the handle
+// persistent across iterations. Callers must not Start the next iteration
+// before onDone of the previous one, per the CmiDirect contract.
+func (h *Handle) RegisterRecv(dstPE, expect int, onMsg func(pe *converse.PE, slot, srcPE int, data any), onDone func(pe *converse.PE)) error {
+	if h.frozen.Load() {
+		return fmt.Errorf("m2m: RegisterRecv after first Start")
+	}
+	if expect < 0 {
+		return fmt.Errorf("m2m: negative expect %d", expect)
+	}
+	h.mu.Lock()
+	h.recvs[dstPE] = &recvState{expect: expect, onMsg: onMsg, onDone: onDone}
+	h.mu.Unlock()
+	return nil
+}
+
+// SendCount returns the number of sends registered for srcPE.
+func (h *Handle) SendCount(srcPE int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.sends[srcPE])
+}
+
+// Start triggers the burst for the calling PE
+// (CmiDirectManytomany_start): all sends registered for pe are injected.
+// With communication threads enabled, the send list is split across the
+// node's contexts and posted, so the comm threads perform the injections
+// in parallel; otherwise the worker sends inline.
+func (h *Handle) Start(pe *converse.PE) {
+	h.frozen.Store(true)
+	h.mu.Lock()
+	ops := h.sends[pe.Id()]
+	h.mu.Unlock()
+	if len(ops) == 0 {
+		return
+	}
+	node := pe.Node()
+	if node.HasCommThreads() && len(ops) > 1 {
+		nctx := node.NumContexts()
+		chunks := nctx
+		if chunks > len(ops) {
+			chunks = len(ops)
+		}
+		per := (len(ops) + chunks - 1) / chunks
+		for c := 0; c < chunks; c++ {
+			lo := c * per
+			hi := lo + per
+			if hi > len(ops) {
+				hi = len(ops)
+			}
+			batch := ops[lo:hi]
+			node.PostToComm(c, func() { h.sendBatch(pe, batch) })
+		}
+		return
+	}
+	h.sendBatch(pe, ops)
+}
+
+func (h *Handle) sendBatch(pe *converse.PE, ops []sendOp) {
+	for _, op := range ops {
+		msg := &converse.Message{
+			Handler: h.mgr.handler,
+			Bytes:   op.bytes,
+			Payload: m2mMsg{handle: h.id, slot: op.slot, src: pe.Id(), data: op.fetch()},
+		}
+		if err := pe.Send(op.dst, msg); err != nil {
+			panic(fmt.Sprintf("m2m: send to PE %d failed: %v", op.dst, err))
+		}
+	}
+}
+
+// deliver runs on the destination PE's scheduler.
+func (h *Handle) deliver(pe *converse.PE, mm m2mMsg) {
+	h.mu.Lock()
+	rs := h.recvs[pe.Id()]
+	h.mu.Unlock()
+	if rs == nil {
+		panic(fmt.Sprintf("m2m: PE %d received message but registered no recv", pe.Id()))
+	}
+	if rs.onMsg != nil {
+		rs.onMsg(pe, mm.slot, mm.src, mm.data)
+	}
+	if n := rs.received.Add(1); int(n) == rs.expect {
+		rs.received.Store(0)
+		if rs.onDone != nil {
+			rs.onDone(pe)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package md
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCross(t *testing.T) {
+	x := Vec3{1, 0, 0}
+	y := Vec3{0, 1, 0}
+	if x.Cross(y) != (Vec3{0, 0, 1}) {
+		t.Fatalf("x × y = %v", x.Cross(y))
+	}
+	v := Vec3{1, 2, 3}
+	if v.Cross(v).Norm() != 0 {
+		t.Fatal("v × v != 0")
+	}
+}
+
+// Known geometries: cis (φ=0), trans (φ=π), and right-angle gauche.
+func TestDihedralAngleKnownGeometries(t *testing.T) {
+	box := Box{L: Vec3{100, 100, 100}}
+	j := Vec3{0, 0, 0}
+	k := Vec3{1, 0, 0}
+	cases := []struct {
+		i, l Vec3
+		want float64
+	}{
+		{Vec3{-0.5, 1, 0}, Vec3{1.5, 1, 0}, 0},           // cis
+		{Vec3{-0.5, 1, 0}, Vec3{1.5, -1, 0}, math.Pi},    // trans
+		{Vec3{-0.5, 1, 0}, Vec3{1.5, 0, 1}, math.Pi / 2}, // gauche
+	}
+	for _, c := range cases {
+		got := DihedralAngle(box, c.i, j, k, c.l)
+		if math.Abs(math.Abs(got)-math.Abs(c.want)) > 1e-12 {
+			t.Errorf("dihedral(%v, %v) = %v, want ±%v", c.i, c.l, got, c.want)
+		}
+	}
+}
+
+// Dihedral forces must be the negative gradient of the energy.
+func TestDihedralForcesAreGradient(t *testing.T) {
+	box := Box{L: Vec3{50, 50, 50}}
+	rng := rand.New(rand.NewSource(1))
+	d := Dihedral{I: 0, J: 1, K: 2, L: 3, Kd: 3.5, N: 3, Phi0: 0.7}
+	for trial := 0; trial < 20; trial++ {
+		pos := []Vec3{
+			{rng.Float64(), rng.Float64(), rng.Float64()},
+			{1 + rng.Float64(), rng.Float64(), rng.Float64()},
+			{2 + rng.Float64(), 1 + rng.Float64(), rng.Float64()},
+			{3 + rng.Float64(), 1 + rng.Float64(), 1 + rng.Float64()},
+		}
+		fi, fj, fk, fl, _, ok := DihedralForces(box, pos[0], pos[1], pos[2], pos[3], d)
+		if !ok {
+			continue
+		}
+		forces := []Vec3{fi, fj, fk, fl}
+		// Net force and net torque about the origin vanish.
+		var net Vec3
+		var torque Vec3
+		for a := 0; a < 4; a++ {
+			net = net.Add(forces[a])
+			torque = torque.Add(pos[a].Cross(forces[a]))
+		}
+		if net.Norm() > 1e-10 {
+			t.Fatalf("net dihedral force %v", net)
+		}
+		if torque.Norm() > 1e-9 {
+			t.Fatalf("net dihedral torque %v", torque)
+		}
+		energy := func() float64 {
+			_, _, _, _, e, _ := DihedralForces(box, pos[0], pos[1], pos[2], pos[3], d)
+			return e
+		}
+		const h = 1e-7
+		for a := 0; a < 4; a++ {
+			for dim := 0; dim < 3; dim++ {
+				orig := pos[a][dim]
+				pos[a][dim] = orig + h
+				ep := energy()
+				pos[a][dim] = orig - h
+				em := energy()
+				pos[a][dim] = orig
+				want := -(ep - em) / (2 * h)
+				if math.Abs(forces[a][dim]-want) > 1e-5*(1+math.Abs(want)) {
+					t.Fatalf("trial %d atom %d dim %d: force %g vs -grad %g",
+						trial, a, dim, forces[a][dim], want)
+				}
+			}
+		}
+	}
+}
+
+func TestDihedralCollinearSafe(t *testing.T) {
+	box := Box{L: Vec3{50, 50, 50}}
+	_, _, _, _, e, ok := DihedralForces(box,
+		Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{2, 0, 0}, Vec3{3, 0, 0},
+		Dihedral{Kd: 1, N: 1})
+	if ok || e != 0 {
+		t.Fatal("collinear dihedral not rejected")
+	}
+}
+
+func TestPolymerBoxConstruction(t *testing.T) {
+	s := PolymerBox(PolymerBoxConfig{Chains: 8, Beads: 6, Seed: 1})
+	if s.N() != 48 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Bonds) != 8*5 || len(s.Angles) != 8*4 || len(s.Dihedrals) != 8*3 {
+		t.Fatalf("topology: %d bonds %d angles %d dihedrals",
+			len(s.Bonds), len(s.Angles), len(s.Dihedrals))
+	}
+	if math.Abs(s.NetCharge()) > 1e-12 {
+		t.Fatalf("net charge %g", s.NetCharge())
+	}
+	// 1-4 exclusion from dihedrals.
+	if !s.IsExcluded(0, 3) {
+		t.Fatal("1-4 pair not excluded")
+	}
+	if s.IsExcluded(0, 4) {
+		t.Fatal("1-5 pair excluded")
+	}
+}
+
+// Full force field including torsions is still a gradient.
+func TestPolymerForcesAreGradient(t *testing.T) {
+	// Density kept low so the cutoff stays below half the box edge (the
+	// minimum-image requirement).
+	s := PolymerBox(PolymerBoxConfig{Chains: 3, Beads: 5, Density: 0.02, Seed: 2})
+	params := NonbondedParams{Cutoff: 3.5, SwitchDist: 2.8, EwaldBeta: 0.4}
+	energy := func() float64 {
+		f := NewForces(s.N())
+		ComputeNonbonded(s, params, f)
+		ComputeBonded(s, f)
+		return f.PotentialEnergy()
+	}
+	f := NewForces(s.N())
+	ComputeNonbonded(s, params, f)
+	ComputeBonded(s, f)
+	rng := rand.New(rand.NewSource(3))
+	const h = 1e-6
+	for trial := 0; trial < 10; trial++ {
+		i := rng.Intn(s.N())
+		dim := rng.Intn(3)
+		orig := s.Pos[i][dim]
+		s.Pos[i][dim] = orig + h
+		ep := energy()
+		s.Pos[i][dim] = orig - h
+		em := energy()
+		s.Pos[i][dim] = orig
+		want := -(ep - em) / (2 * h)
+		if math.Abs(f.F[i][dim]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("atom %d dim %d: force %g vs -grad %g", i, dim, f.F[i][dim], want)
+		}
+	}
+}
+
+// NVE energy conservation with the full bonded set.
+func TestPolymerEnergyConservation(t *testing.T) {
+	s := PolymerBox(PolymerBoxConfig{Chains: 6, Beads: 6, Seed: 4})
+	s.Thermalize(0.2, rand.New(rand.NewSource(5)))
+	ff := &BasicForceField{Params: NonbondedParams{Cutoff: 4, SwitchDist: 3.2}}
+	in := NewIntegrator(1e-4, ff)
+	for i := 0; i < 100; i++ {
+		in.Step(s)
+	}
+	e0 := in.TotalEnergy(s)
+	for i := 0; i < 400; i++ {
+		in.Step(s)
+	}
+	e1 := in.TotalEnergy(s)
+	scale := math.Max(math.Abs(e0), s.KineticEnergy())
+	if drift := math.Abs(e1 - e0); drift > 1e-3*scale {
+		t.Fatalf("drift %g (E0=%g E1=%g)", drift, e0, e1)
+	}
+}

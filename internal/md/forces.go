@@ -1,0 +1,421 @@
+package md
+
+import (
+	"math"
+
+	"blueq/internal/qpx"
+)
+
+// NonbondedParams configures the cutoff pair interactions.
+type NonbondedParams struct {
+	// Cutoff is the pair cutoff (12 Å in the paper's runs). Minimum-image
+	// convention: keep it at or below half the smallest box edge.
+	Cutoff     float64
+	SwitchDist float64 // LJ switching starts here; 0 disables switching
+	// EwaldBeta is the Ewald splitting parameter; > 0 adds the real-space
+	// erfc(βr)/r electrostatic term (the PME direct-space part).
+	EwaldBeta float64
+	// UseQPX selects the 4-wide vectorized kernel (paper §IV-B.1).
+	UseQPX bool
+	// TableBins > 0 evaluates erfc through the NAMD-style interpolation
+	// table instead of calling erfc directly.
+	TableBins int
+}
+
+// Forces holds force and energy accumulation for one evaluation.
+type Forces struct {
+	F              []Vec3
+	LJEnergy       float64
+	ElecEnergy     float64 // real-space Ewald part only
+	BondEnergy     float64
+	AngleEnergy    float64
+	DihedralEnergy float64
+	// Virial is the scalar virial Σ r·F (for pressure).
+	Virial float64
+	// Pairs is the number of pair interactions inside the cutoff.
+	Pairs int64
+}
+
+// NewForces allocates a force accumulator for n atoms.
+func NewForces(n int) *Forces { return &Forces{F: make([]Vec3, n)} }
+
+// Reset zeroes the accumulator.
+func (f *Forces) Reset() {
+	for i := range f.F {
+		f.F[i] = Vec3{}
+	}
+	f.LJEnergy, f.ElecEnergy, f.BondEnergy, f.AngleEnergy, f.DihedralEnergy, f.Virial = 0, 0, 0, 0, 0, 0
+	f.Pairs = 0
+}
+
+// PotentialEnergy returns the sum of all accumulated potential terms.
+func (f *Forces) PotentialEnergy() float64 {
+	return f.LJEnergy + f.ElecEnergy + f.BondEnergy + f.AngleEnergy + f.DihedralEnergy
+}
+
+// ---------------------------------------------------------------------------
+// Cell list
+
+// CellList bins atoms into cells of edge >= cutoff for O(N) pair search.
+type CellList struct {
+	nc    [3]int
+	cells [][]int32
+	box   Box
+}
+
+// NewCellList builds a cell list for the system at the given cutoff.
+func NewCellList(s *System, cutoff float64) *CellList {
+	cl := &CellList{box: s.Box}
+	total := 1
+	for d := 0; d < 3; d++ {
+		cl.nc[d] = int(s.Box.L[d] / cutoff)
+		if cl.nc[d] < 1 {
+			cl.nc[d] = 1
+		}
+		total *= cl.nc[d]
+	}
+	cl.cells = make([][]int32, total)
+	for i, p := range s.Pos {
+		c := cl.cellOf(s.Box.Wrap(p))
+		cl.cells[c] = append(cl.cells[c], int32(i))
+	}
+	return cl
+}
+
+func (cl *CellList) cellOf(p Vec3) int {
+	var idx [3]int
+	for d := 0; d < 3; d++ {
+		idx[d] = int(p[d] / cl.box.L[d] * float64(cl.nc[d]))
+		if idx[d] >= cl.nc[d] {
+			idx[d] = cl.nc[d] - 1
+		}
+		if idx[d] < 0 {
+			idx[d] = 0
+		}
+	}
+	return (idx[0]*cl.nc[1]+idx[1])*cl.nc[2] + idx[2]
+}
+
+// ForEachPair invokes fn for every unordered atom pair in the same or
+// neighbouring cells (periodic). Pairs are visited at most once: with
+// fewer than three cells in some dimension the +1 and -1 offsets alias,
+// so unordered cell pairs are deduplicated globally.
+func (cl *CellList) ForEachPair(fn func(i, j int)) {
+	nx, ny, nz := cl.nc[0], cl.nc[1], cl.nc[2]
+	cellIndex := func(x, y, z int) int {
+		return (x*ny+y)*nz + z
+	}
+	visited := make(map[[2]int32]bool)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				c := cellIndex(x, y, z)
+				atoms := cl.cells[c]
+				// Pairs within the cell.
+				for a := 0; a < len(atoms); a++ {
+					for b := a + 1; b < len(atoms); b++ {
+						fn(int(atoms[a]), int(atoms[b]))
+					}
+				}
+				// Half the neighbour cells (13 of 26) so each unordered
+				// cell pair is reached from one side in the generic case.
+				for _, off := range halfNeighbours {
+					xx := mod(x+off[0], nx)
+					yy := mod(y+off[1], ny)
+					zz := mod(z+off[2], nz)
+					nc := cellIndex(xx, yy, zz)
+					if nc == c {
+						continue
+					}
+					key := [2]int32{int32(c), int32(nc)}
+					if nc < c {
+						key = [2]int32{int32(nc), int32(c)}
+					}
+					if visited[key] {
+						continue
+					}
+					visited[key] = true
+					for _, a := range atoms {
+						for _, b := range cl.cells[nc] {
+							fn(int(a), int(b))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// halfNeighbours enumerates 13 of the 26 neighbour offsets such that each
+// unordered cell pair appears once.
+var halfNeighbours = [13][3]int{
+	{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+	{1, 1, 0}, {1, -1, 0}, {1, 0, 1}, {1, 0, -1},
+	{0, 1, 1}, {0, 1, -1},
+	{1, 1, 1}, {1, 1, -1}, {1, -1, 1}, {1, -1, -1},
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+// ---------------------------------------------------------------------------
+// Nonbonded kernels
+
+// erfcTable is the NAMD-style interpolation table over r² for the
+// real-space Ewald interaction (paper §IV-B.1's "large interpolation
+// table").
+type erfcTable struct {
+	energy *qpx.InterpolationTable // erfc(βr)/r as function of r²
+	force  *qpx.InterpolationTable // (erfc(βr)/r + 2β/√π·exp(-β²r²))/r² as fn of r²
+}
+
+func newErfcTable(beta, cutoff float64, bins int) *erfcTable {
+	r2min := 1e-4
+	r2max := cutoff*cutoff*1.01 + 1e-6
+	e := func(r2 float64) float64 {
+		r := math.Sqrt(r2)
+		return math.Erfc(beta*r) / r
+	}
+	f := func(r2 float64) float64 {
+		r := math.Sqrt(r2)
+		return (math.Erfc(beta*r)/r + 2*beta/math.SqrtPi*math.Exp(-beta*beta*r2)) / r2
+	}
+	return &erfcTable{
+		energy: qpx.NewInterpolationTable(e, r2min, r2max, bins),
+		force:  qpx.NewInterpolationTable(f, r2min, r2max, bins),
+	}
+}
+
+// ComputeNonbonded evaluates LJ + real-space Ewald forces within the cutoff
+// into out. The kernel variant (scalar vs QPX) and erfc evaluation (direct
+// vs table) follow params.
+func ComputeNonbonded(s *System, params NonbondedParams, out *Forces) {
+	cl := NewCellList(s, params.Cutoff)
+	var tab *erfcTable
+	if params.EwaldBeta > 0 && params.TableBins > 0 {
+		tab = newErfcTable(params.EwaldBeta, params.Cutoff, params.TableBins)
+	}
+	if params.UseQPX {
+		computeNonbondedQPX(s, params, cl, tab, out)
+	} else {
+		computeNonbondedScalar(s, params, cl, tab, out)
+	}
+}
+
+// ljSwitch returns the switching factor and its r-derivative factor for
+// C1-continuous LJ truncation between SwitchDist and Cutoff (NAMD's
+// switching function).
+func ljSwitch(r2, ron2, roff2 float64) (sw, dswdr2 float64) {
+	if r2 <= ron2 {
+		return 1, 0
+	}
+	if r2 >= roff2 {
+		return 0, 0
+	}
+	d := roff2 - ron2
+	t := roff2 - r2
+	sw = t * t * (roff2 + 2*r2 - 3*ron2) / (d * d * d)
+	dswdr2 = 6 * t * (ron2 - r2) / (d * d * d) // d(sw)/d(r2)
+	return sw, dswdr2
+}
+
+func computeNonbondedScalar(s *System, p NonbondedParams, cl *CellList, tab *erfcTable, out *Forces) {
+	cut2 := p.Cutoff * p.Cutoff
+	ron2 := cut2
+	if p.SwitchDist > 0 {
+		ron2 = p.SwitchDist * p.SwitchDist
+	}
+	beta := p.EwaldBeta
+	cl.ForEachPair(func(i, j int) {
+		if s.IsExcluded(i, j) {
+			return
+		}
+		d := s.Box.MinImage(s.Pos[i].Sub(s.Pos[j]))
+		r2 := d.Norm2()
+		if r2 >= cut2 || r2 == 0 {
+			return
+		}
+		out.Pairs++
+		// Lennard-Jones with Lorentz-Berthelot mixing and switching.
+		eps := math.Sqrt(s.Eps[i] * s.Eps[j])
+		sig := 0.5 * (s.Sigma[i] + s.Sigma[j])
+		var fr float64 // dE/dr · (1/r): force = -fr·d
+		if eps != 0 {
+			sr2 := sig * sig / r2
+			sr6 := sr2 * sr2 * sr2
+			sr12 := sr6 * sr6
+			elj := 4 * eps * (sr12 - sr6)
+			dlj := 24 * eps * (2*sr12 - sr6) / r2 // -dE/dr / r
+			sw, dsw := ljSwitch(r2, ron2, cut2)
+			out.LJEnergy += elj * sw
+			fr += dlj*sw - elj*dsw*2 // d(elj·sw)/dr2 · (-2)
+		}
+		// Real-space Ewald.
+		if beta > 0 {
+			qq := s.Charge[i] * s.Charge[j]
+			if qq != 0 {
+				var e, fscale float64
+				if tab != nil {
+					e = qq * tab.energy.Lookup(r2)
+					fscale = qq * tab.force.Lookup(r2)
+				} else {
+					r := math.Sqrt(r2)
+					er := math.Erfc(beta * r)
+					e = qq * er / r
+					fscale = qq * (er/r + 2*beta/math.SqrtPi*math.Exp(-beta*beta*r2)) / r2
+				}
+				out.ElecEnergy += e
+				fr += fscale
+			}
+		}
+		f := d.Scale(fr)
+		out.F[i] = out.F[i].Add(f)
+		out.F[j] = out.F[j].Sub(f)
+		out.Virial += fr * r2
+	})
+}
+
+// computeNonbondedQPX is the 4-wide kernel: pairs are gathered in batches of
+// four and processed with Vec4 arithmetic, the structure the XL-compiler
+// QPX intrinsics give the NAMD inner loop. Results are bit-comparable to
+// the scalar kernel only up to FMA rounding; tests use tolerances.
+func computeNonbondedQPX(s *System, p NonbondedParams, cl *CellList, tab *erfcTable, out *Forces) {
+	cut2 := p.Cutoff * p.Cutoff
+	ron2 := cut2
+	if p.SwitchDist > 0 {
+		ron2 = p.SwitchDist * p.SwitchDist
+	}
+	beta := p.EwaldBeta
+
+	// Pair batch buffers.
+	var bi, bj [qpx.Width]int
+	var dx, dy, dz, r2v qpx.Vec4
+	fill := 0
+
+	flush := func() {
+		if fill == 0 {
+			return
+		}
+		n := fill
+		fill = 0
+		// Gather per-pair parameters.
+		var epsV, sigV, qqV qpx.Vec4
+		for l := 0; l < n; l++ {
+			epsV[l] = math.Sqrt(s.Eps[bi[l]] * s.Eps[bj[l]])
+			sigV[l] = 0.5 * (s.Sigma[bi[l]] + s.Sigma[bj[l]])
+			qqV[l] = s.Charge[bi[l]] * s.Charge[bj[l]]
+		}
+		// LJ: sr2 = sig²/r², vectorized.
+		invR2 := r2v.Recip()
+		sr2 := sigV.Mul(sigV).Mul(invR2)
+		sr6 := sr2.Mul(sr2).Mul(sr2)
+		sr12 := sr6.Mul(sr6)
+		four := qpx.Splat(4)
+		elj := four.Mul(epsV).Mul(sr12.Sub(sr6))
+		dlj := qpx.Splat(24).Mul(epsV).Mul(qpx.Splat(2).Mul(sr12).Sub(sr6)).Mul(invR2)
+		// Electrostatics via the interpolation table (4-wide lookup) or
+		// direct scalar erfc per lane.
+		var eel, fel qpx.Vec4
+		if beta > 0 {
+			if tab != nil {
+				eel = tab.energy.LookupQPX(r2v).Mul(qqV)
+				fel = tab.force.LookupQPX(r2v).Mul(qqV)
+			} else {
+				for l := 0; l < n; l++ {
+					r := math.Sqrt(r2v[l])
+					er := math.Erfc(beta * r)
+					eel[l] = qqV[l] * er / r
+					fel[l] = qqV[l] * (er/r + 2*beta/math.SqrtPi*math.Exp(-beta*beta*r2v[l])) / r2v[l]
+				}
+			}
+		}
+		for l := 0; l < n; l++ {
+			sw, dsw := ljSwitch(r2v[l], ron2, cut2)
+			fr := 0.0
+			if epsV[l] != 0 {
+				out.LJEnergy += elj[l] * sw
+				fr += dlj[l]*sw - elj[l]*dsw*2
+			}
+			if qqV[l] != 0 {
+				out.ElecEnergy += eel[l]
+				fr += fel[l]
+			}
+			f := Vec3{dx[l], dy[l], dz[l]}.Scale(fr)
+			out.F[bi[l]] = out.F[bi[l]].Add(f)
+			out.F[bj[l]] = out.F[bj[l]].Sub(f)
+			out.Virial += fr * r2v[l]
+		}
+	}
+
+	cl.ForEachPair(func(i, j int) {
+		if s.IsExcluded(i, j) {
+			return
+		}
+		d := s.Box.MinImage(s.Pos[i].Sub(s.Pos[j]))
+		r2 := d.Norm2()
+		if r2 >= cut2 || r2 == 0 {
+			return
+		}
+		out.Pairs++
+		bi[fill], bj[fill] = i, j
+		dx[fill], dy[fill], dz[fill] = d[0], d[1], d[2]
+		r2v[fill] = r2
+		fill++
+		if fill == qpx.Width {
+			flush()
+		}
+	})
+	flush()
+}
+
+// ---------------------------------------------------------------------------
+// Bonded terms
+
+// ComputeBonded accumulates harmonic bond, angle and torsion forces.
+func ComputeBonded(s *System, out *Forces) {
+	ComputeDihedrals(s, out)
+	for _, b := range s.Bonds {
+		d := s.Box.MinImage(s.Pos[b.I].Sub(s.Pos[b.J]))
+		r := d.Norm()
+		if r == 0 {
+			continue
+		}
+		dr := r - b.R0
+		out.BondEnergy += b.K * dr * dr
+		// F_I = -dE/dr · d/r
+		fmag := -2 * b.K * dr / r
+		f := d.Scale(fmag)
+		out.F[b.I] = out.F[b.I].Add(f)
+		out.F[b.J] = out.F[b.J].Sub(f)
+		out.Virial += fmag * r * r
+	}
+	for _, a := range s.Angles {
+		rij := s.Box.MinImage(s.Pos[a.I].Sub(s.Pos[a.J]))
+		rkj := s.Box.MinImage(s.Pos[a.K].Sub(s.Pos[a.J]))
+		lij, lkj := rij.Norm(), rkj.Norm()
+		if lij == 0 || lkj == 0 {
+			continue
+		}
+		cosT := rij.Dot(rkj) / (lij * lkj)
+		cosT = math.Max(-1, math.Min(1, cosT))
+		theta := math.Acos(cosT)
+		dT := theta - a.Theta0
+		out.AngleEnergy += a.Kth * dT * dT
+		// Force via -dE/dθ with standard geometric derivatives.
+		sinT := math.Sqrt(1 - cosT*cosT)
+		if sinT < 1e-8 {
+			continue
+		}
+		c := 2 * a.Kth * dT / sinT
+		fi := rkj.Scale(1 / (lij * lkj)).Sub(rij.Scale(cosT / (lij * lij))).Scale(c)
+		fk := rij.Scale(1 / (lij * lkj)).Sub(rkj.Scale(cosT / (lkj * lkj))).Scale(c)
+		out.F[a.I] = out.F[a.I].Add(fi)
+		out.F[a.K] = out.F[a.K].Add(fk)
+		out.F[a.J] = out.F[a.J].Sub(fi.Add(fk))
+	}
+}

@@ -1,0 +1,278 @@
+package md
+
+import (
+	"math"
+	"math/rand"
+)
+
+// The paper's benchmark systems. Proprietary input decks (PDB/PSF for ApoA1
+// and STMV) are replaced by synthetic solvated boxes with the same atom
+// counts and comparable density; for the performance experiments only the
+// counts, density and PME grids matter (see DESIGN.md substitution table).
+const (
+	// ApoA1Atoms is the 92,224-atom apolipoprotein A1 benchmark.
+	ApoA1Atoms = 92224
+	// STMV20MAtoms is the 20-million-atom STMV array benchmark.
+	STMV20MAtoms = 20_000_000
+	// STMV100MAtoms is the 100-million-atom STMV array benchmark.
+	STMV100MAtoms = 100_000_000
+)
+
+// PME grid sizes from the paper (§V-B).
+var (
+	// ApoA1Grid is a typical 108³-class grid for the 92k system.
+	ApoA1Grid = [3]int{108, 108, 108}
+	// STMV20MGrid is the 20M-atom PME grid (216×1080×864).
+	STMV20MGrid = [3]int{216, 1080, 864}
+	// STMV100MGrid is the 100M-atom PME grid (1080×1080×864).
+	STMV100MGrid = [3]int{1080, 1080, 864}
+)
+
+// WaterBoxConfig parameterizes the synthetic solvated-box builder.
+type WaterBoxConfig struct {
+	// Molecules is the number of 3-site water-like molecules (atoms = 3x).
+	Molecules int
+	// Density is atoms per unit volume; ~0.1 atoms/Å³ matches water.
+	Density float64
+	// BondK/AngleK are the intramolecular spring constants.
+	BondK, AngleK float64
+	// Seed for positions and orientation.
+	Seed int64
+}
+
+// WaterBox builds a periodic box of 3-site molecules: a charged central
+// atom (-2q) with two satellites (+q) — an SPC-like model system that is
+// net neutral per molecule, exercises bonds, angles, LJ and electrostatics.
+func WaterBox(cfg WaterBoxConfig) *System {
+	if cfg.Molecules < 1 {
+		cfg.Molecules = 1
+	}
+	if cfg.Density <= 0 {
+		cfg.Density = 0.1
+	}
+	if cfg.BondK == 0 {
+		cfg.BondK = 450
+	}
+	if cfg.AngleK == 0 {
+		cfg.AngleK = 55
+	}
+	n := cfg.Molecules * 3
+	vol := float64(n) / cfg.Density
+	edge := math.Cbrt(vol)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	s := &System{
+		Box:    Box{L: Vec3{edge, edge, edge}},
+		Pos:    make([]Vec3, n),
+		Vel:    make([]Vec3, n),
+		Charge: make([]float64, n),
+		Mass:   make([]float64, n),
+		Eps:    make([]float64, n),
+		Sigma:  make([]float64, n),
+	}
+	const (
+		bondLen = 0.96
+		angle0  = 1.824 // ~104.5°
+		qSat    = 0.42
+		massO   = 16.0
+		massH   = 1.0
+		epsO    = 0.15
+		sigmaO  = 3.15
+	)
+	// Place molecule centres on a jittered lattice to avoid overlaps.
+	perEdge := int(math.Ceil(math.Cbrt(float64(cfg.Molecules))))
+	spacing := edge / float64(perEdge)
+	m := 0
+	for ix := 0; ix < perEdge && m < cfg.Molecules; ix++ {
+		for iy := 0; iy < perEdge && m < cfg.Molecules; iy++ {
+			for iz := 0; iz < perEdge && m < cfg.Molecules; iz++ {
+				centre := Vec3{
+					(float64(ix) + 0.5 + 0.1*rng.Float64()) * spacing,
+					(float64(iy) + 0.5 + 0.1*rng.Float64()) * spacing,
+					(float64(iz) + 0.5 + 0.1*rng.Float64()) * spacing,
+				}
+				o := 3 * m
+				// Random orientation for the two satellites.
+				u := randomUnit(rng)
+				v := randomUnit(rng)
+				s.Pos[o] = s.Box.Wrap(centre)
+				s.Pos[o+1] = s.Box.Wrap(centre.Add(u.Scale(bondLen)))
+				// Rotate u by the equilibrium angle toward v's plane.
+				w := orthonormalize(u, v)
+				dir2 := u.Scale(math.Cos(angle0)).Add(w.Scale(math.Sin(angle0)))
+				s.Pos[o+2] = s.Box.Wrap(centre.Add(dir2.Scale(bondLen)))
+
+				s.Charge[o] = -2 * qSat
+				s.Charge[o+1] = qSat
+				s.Charge[o+2] = qSat
+				s.Mass[o] = massO
+				s.Mass[o+1] = massH
+				s.Mass[o+2] = massH
+				s.Eps[o] = epsO
+				s.Sigma[o] = sigmaO
+				// Satellites: tiny LJ to avoid singular overlaps.
+				s.Eps[o+1], s.Eps[o+2] = 0.01, 0.01
+				s.Sigma[o+1], s.Sigma[o+2] = 1.0, 1.0
+
+				s.Bonds = append(s.Bonds,
+					Bond{I: o, J: o + 1, K: cfg.BondK, R0: bondLen},
+					Bond{I: o, J: o + 2, K: cfg.BondK, R0: bondLen})
+				s.Angles = append(s.Angles,
+					Angle{I: o + 1, J: o, K: o + 2, Kth: cfg.AngleK, Theta0: angle0})
+				m++
+			}
+		}
+	}
+	s.BuildExclusions()
+	return s
+}
+
+func randomUnit(rng *rand.Rand) Vec3 {
+	for {
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if n := v.Norm(); n > 1e-6 {
+			return v.Scale(1 / n)
+		}
+	}
+}
+
+// orthonormalize returns a unit vector orthogonal to u, in the u-v plane.
+func orthonormalize(u, v Vec3) Vec3 {
+	w := v.Sub(u.Scale(u.Dot(v)))
+	if n := w.Norm(); n > 1e-6 {
+		return w.Scale(1 / n)
+	}
+	// v parallel to u: pick any orthogonal direction.
+	alt := Vec3{1, 0, 0}
+	if math.Abs(u[0]) > 0.9 {
+		alt = Vec3{0, 1, 0}
+	}
+	return orthonormalize(u, alt)
+}
+
+// PolymerBoxConfig parameterizes the chain-molecule builder used to
+// exercise the torsion terms.
+type PolymerBoxConfig struct {
+	// Chains is the number of linear chains; Beads the beads per chain
+	// (>= 4 to generate dihedrals).
+	Chains, Beads int
+	// Density in atoms per unit volume (default 0.05, dilute).
+	Density float64
+	Seed    int64
+}
+
+// PolymerBox builds a periodic box of linear bead chains with bonds,
+// angles and proper dihedrals — the full bonded term set of §IV-B.
+// Charges alternate ±q along each chain (net neutral).
+func PolymerBox(cfg PolymerBoxConfig) *System {
+	if cfg.Chains < 1 {
+		cfg.Chains = 1
+	}
+	if cfg.Beads < 4 {
+		cfg.Beads = 4
+	}
+	if cfg.Density <= 0 {
+		cfg.Density = 0.05
+	}
+	n := cfg.Chains * cfg.Beads
+	edge := math.Cbrt(float64(n) / cfg.Density)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &System{
+		Box:    Box{L: Vec3{edge, edge, edge}},
+		Pos:    make([]Vec3, n),
+		Vel:    make([]Vec3, n),
+		Charge: make([]float64, n),
+		Mass:   make([]float64, n),
+		Eps:    make([]float64, n),
+		Sigma:  make([]float64, n),
+	}
+	const (
+		bondLen = 1.0
+		theta0  = 1.911 // ~109.5° tetrahedral
+		kBond   = 300
+		kAngle  = 40
+		kDih    = 2
+	)
+	// Chains run along +z on an (x,y) grid, zigzag in x: collision-free by
+	// construction as long as the grid spacing exceeds the zigzag width
+	// plus the LJ core.
+	perEdge := int(math.Ceil(math.Sqrt(float64(cfg.Chains))))
+	spacing := edge / float64(perEdge)
+	chainLen := 0.85 * bondLen * float64(cfg.Beads-1)
+	if chainLen > edge*0.8 {
+		// Keep the chain inside the box (periodic self-overlap guard).
+		panic("md: PolymerBox chains too long for the box; raise Density or shorten chains")
+	}
+	axis := Vec3{0, 0, 1}
+	perp := Vec3{1, 0, 0}
+	chain := 0
+	for ix := 0; ix < perEdge && chain < cfg.Chains; ix++ {
+		for iy := 0; iy < perEdge && chain < cfg.Chains; iy++ {
+			{
+				start := Vec3{
+					(float64(ix) + 0.5) * spacing,
+					(float64(iy) + 0.5) * spacing,
+					0.1*edge + 0.05*spacing*rng.Float64(),
+				}
+				o := chain * cfg.Beads
+				for b := 0; b < cfg.Beads; b++ {
+					// Zigzag backbone: alternating offsets make well-defined
+					// angles and non-degenerate dihedrals.
+					zig := perp.Scale(0.4 * bondLen * float64(1-2*(b%2)))
+					p := start.Add(axis.Scale(0.85 * bondLen * float64(b))).Add(zig)
+					i := o + b
+					s.Pos[i] = s.Box.Wrap(p)
+					s.Charge[i] = 0.2 * float64(1-2*(b%2))
+					s.Mass[i] = 12
+					s.Eps[i] = 0.1
+					s.Sigma[i] = 1.8
+					if b >= 1 {
+						s.Bonds = append(s.Bonds, Bond{I: i - 1, J: i, K: kBond, R0: bondLen})
+					}
+					if b >= 2 {
+						s.Angles = append(s.Angles, Angle{I: i - 2, J: i - 1, K: i, Kth: kAngle, Theta0: theta0})
+					}
+					if b >= 3 {
+						s.Dihedrals = append(s.Dihedrals, Dihedral{I: i - 3, J: i - 2, K: i - 1, L: i, Kd: kDih, N: 3, Phi0: 0})
+					}
+				}
+				chain++
+			}
+		}
+	}
+	if cfg.Beads%2 == 1 { // odd chains carry net charge; neutralize
+		net := s.NetCharge()
+		for i := range s.Charge {
+			s.Charge[i] -= net / float64(n)
+		}
+	}
+	s.BuildExclusions()
+	return s
+}
+
+// BenchmarkSystem describes one of the paper's molecular systems for the
+// machine simulator: only the aggregate properties that drive performance.
+type BenchmarkSystem struct {
+	Name    string
+	Atoms   int
+	PMEGrid [3]int
+	CutoffA float64 // cutoff in Å
+	// PairsPerAtom is the average cutoff-sphere pair count per atom, which
+	// with the cutoff sets the nonbonded work per step.
+	PairsPerAtom float64
+}
+
+// ApoA1 returns the 92k-atom benchmark descriptor.
+func ApoA1() BenchmarkSystem {
+	return BenchmarkSystem{Name: "ApoA1", Atoms: ApoA1Atoms, PMEGrid: ApoA1Grid, CutoffA: 12, PairsPerAtom: 380}
+}
+
+// STMV20M returns the 20M-atom benchmark descriptor.
+func STMV20M() BenchmarkSystem {
+	return BenchmarkSystem{Name: "STMV20M", Atoms: STMV20MAtoms, PMEGrid: STMV20MGrid, CutoffA: 12, PairsPerAtom: 380}
+}
+
+// STMV100M returns the 100M-atom benchmark descriptor.
+func STMV100M() BenchmarkSystem {
+	return BenchmarkSystem{Name: "STMV100M", Atoms: STMV100MAtoms, PMEGrid: STMV100MGrid, CutoffA: 12, PairsPerAtom: 380}
+}

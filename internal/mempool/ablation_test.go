@@ -1,0 +1,76 @@
+package mempool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Pool-threshold ablation (§III-B: "there is a threshold for the memory
+// pools after which buffers are freed to the memory heap"): a tiny pool
+// keeps missing and falls back to the heap; an oversized pool pins memory
+// without improving the hit rate.
+func BenchmarkAblationPoolThreshold(b *testing.B) {
+	const threads = 8
+	const live = 64 // buffers in flight per thread
+	for _, threshold := range []int{8, 64, 512, 4096} {
+		b.Run(fmt.Sprintf("threshold=%d", threshold), func(b *testing.B) {
+			p := NewPoolAllocator(threads, threshold)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			rounds := b.N/(threads*live) + 1
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					bufs := make([]*Buffer, live)
+					for r := 0; r < rounds; r++ {
+						for i := range bufs {
+							bufs[i] = p.Alloc(tid, 256)
+						}
+						for i := range bufs {
+							p.Free(tid, bufs[i])
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+			st := p.Stats()
+			total := st.PoolHits.Load() + st.HeapAllocs.Load()
+			if total > 0 {
+				b.ReportMetric(float64(st.PoolHits.Load())/float64(total)*100, "hit%")
+			}
+		})
+	}
+}
+
+// TestPoolThresholdHitRate pins the ablation's qualitative claim: a pool
+// sized for the working set hits nearly always; a far-too-small pool
+// falls back to the heap for a large share of allocations.
+func TestPoolThresholdHitRate(t *testing.T) {
+	run := func(threshold int) float64 {
+		p := NewPoolAllocator(1, threshold)
+		const burst = 64 // buffers allocated then freed together, as when a
+		// message batch is processed and released
+		bufs := make([]*Buffer, burst)
+		for round := 0; round < 200; round++ {
+			for i := range bufs {
+				bufs[i] = p.Alloc(0, 256)
+			}
+			for i := range bufs {
+				p.Free(0, bufs[i])
+			}
+		}
+		st := p.Stats()
+		total := st.PoolHits.Load() + st.HeapAllocs.Load()
+		return float64(st.PoolHits.Load()) / float64(total)
+	}
+	small := run(4)
+	right := run(128)
+	if right < 0.95 {
+		t.Errorf("well-sized pool hit rate %.2f < 0.95", right)
+	}
+	if small > right-0.2 {
+		t.Errorf("undersized pool hit rate %.2f not clearly below %.2f", small, right)
+	}
+}

@@ -1,0 +1,105 @@
+package mempool
+
+import (
+	"sync"
+	"testing"
+)
+
+// Additional arena-allocator coverage: the glibc-model behaviours the
+// Fig. 6 discussion depends on.
+
+func TestArenaFallbackScan(t *testing.T) {
+	a := NewArenaAllocator(2, 2)
+	// Hold thread 0's preferred arena so its alloc must scan.
+	a.arenas[0].mu.Lock()
+	b := a.Alloc(0, 16)
+	if b.arena == a.arenas[0] {
+		t.Fatal("alloc took a held arena")
+	}
+	// Thread affinity updated to the arena actually used.
+	if got := int(a.lastArena[0].Load()); a.arenas[got] != b.arena {
+		t.Fatalf("affinity %d does not match used arena", got)
+	}
+	a.arenas[0].mu.Unlock()
+	a.Free(0, b)
+}
+
+func TestArenaBlocksWhenAllHeld(t *testing.T) {
+	a := NewArenaAllocator(1, 1)
+	a.arenas[0].mu.Lock()
+	done := make(chan *Buffer)
+	go func() { done <- a.Alloc(0, 8) }()
+	// The alloc must be blocked on the single arena.
+	select {
+	case <-done:
+		t.Fatal("alloc succeeded while the only arena was held")
+	default:
+	}
+	a.arenas[0].mu.Unlock()
+	b := <-done
+	if b == nil || len(b.Data) != 8 {
+		t.Fatal("blocked alloc returned bad buffer")
+	}
+}
+
+func TestArenaFreeNilArenaIsNoop(t *testing.T) {
+	a := NewArenaAllocator(1, 1)
+	a.Free(0, &Buffer{Data: make([]byte, 4)}) // foreign buffer: no arena
+}
+
+func TestArenaSizeClassReuse(t *testing.T) {
+	a := NewArenaAllocator(1, 1)
+	small := a.Alloc(0, 16)
+	big := a.Alloc(0, 1024)
+	a.Free(0, small)
+	a.Free(0, big)
+	// A 512-byte request must skip the 16-byte buffer and reuse the 1 KB one.
+	got := a.Alloc(0, 512)
+	if got != big {
+		t.Fatalf("expected reuse of the large buffer")
+	}
+	if len(got.Data) != 512 {
+		t.Fatalf("len = %d", len(got.Data))
+	}
+}
+
+func TestArenaNarenasClamped(t *testing.T) {
+	a := NewArenaAllocator(2, 0)
+	if len(a.arenas) != 1 {
+		t.Fatalf("narenas=0 gave %d arenas", len(a.arenas))
+	}
+}
+
+func TestArenaLockStatsCount(t *testing.T) {
+	a := NewArenaAllocator(4, 2)
+	var wg sync.WaitGroup
+	for tid := 0; tid < 4; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b := a.Alloc(tid, 64)
+				a.Free(tid, b)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if got := a.Stats().LockAcquires.Load(); got != 800 {
+		t.Fatalf("LockAcquires = %d, want 800 (one per alloc and free)", got)
+	}
+}
+
+func TestPoolStatsAccounting(t *testing.T) {
+	p := NewPoolAllocator(2, 8)
+	b1 := p.Alloc(0, 32)
+	p.Free(1, b1) // remote free to owner 0's pool
+	b2 := p.Alloc(0, 32)
+	if b2 != b1 {
+		t.Fatal("no pool hit after remote free")
+	}
+	st := p.Stats()
+	if st.HeapAllocs.Load() != 1 || st.PoolHits.Load() != 1 || st.PoolFrees.Load() != 1 {
+		t.Fatalf("stats: heap=%d hits=%d frees=%d",
+			st.HeapAllocs.Load(), st.PoolHits.Load(), st.PoolFrees.Load())
+	}
+}

@@ -1,0 +1,79 @@
+package mempool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"blueq/internal/l2atomic"
+)
+
+// bufQueue is the L2-atomic lockless queue specialized for *Buffer, so
+// pool operations allocate nothing: the generic lockless.L2Queue must box
+// its interface payloads, which would put allocator traffic back on the
+// heap — exactly what the pool exists to avoid.
+//
+// Same algorithm as lockless.L2Queue (paper §III-A): bounded
+// load-increment tickets into a pointer ring, mutex-protected overflow,
+// consumer drains the ring before the overflow queue.
+type bufQueue struct {
+	pc       l2atomic.BoundedCounter
+	mask     uint64
+	ring     []atomic.Pointer[Buffer]
+	consumed atomic.Uint64
+
+	omu      sync.Mutex
+	overflow []*Buffer
+	olen     atomic.Int64
+}
+
+func newBufQueue(size int) *bufQueue {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	q := &bufQueue{mask: uint64(n - 1), ring: make([]atomic.Pointer[Buffer], n)}
+	q.pc.Reset(0, uint64(n))
+	return q
+}
+
+func (q *bufQueue) enqueue(b *Buffer) {
+	if ticket, ok := q.pc.BoundedLoadIncrement(); ok {
+		q.ring[ticket&q.mask].Store(b)
+		return
+	}
+	q.omu.Lock()
+	q.overflow = append(q.overflow, b)
+	q.omu.Unlock()
+	q.olen.Add(1)
+}
+
+func (q *bufQueue) dequeue() *Buffer {
+	idx := q.consumed.Load() & q.mask
+	if b := q.ring[idx].Load(); b != nil {
+		q.ring[idx].Store(nil)
+		q.consumed.Add(1)
+		q.pc.StoreAddBound(1)
+		return b
+	}
+	if q.olen.Load() > 0 {
+		q.omu.Lock()
+		if len(q.overflow) > 0 {
+			b := q.overflow[0]
+			q.overflow[0] = nil
+			q.overflow = q.overflow[1:]
+			q.omu.Unlock()
+			q.olen.Add(-1)
+			return b
+		}
+		q.omu.Unlock()
+	}
+	return nil
+}
+
+func (q *bufQueue) len() int {
+	n := int(q.pc.Counter()-q.consumed.Load()) + int(q.olen.Load())
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,213 @@
+package mempool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolAllocRoundTrip(t *testing.T) {
+	p := NewPoolAllocator(4, 16)
+	b := p.Alloc(0, 128)
+	if len(b.Data) != 128 || b.Owner != 0 {
+		t.Fatalf("bad buffer: len=%d owner=%d", len(b.Data), b.Owner)
+	}
+	p.Free(0, b)
+	b2 := p.Alloc(0, 64)
+	if b2 != b {
+		t.Fatal("pool did not recycle the freed buffer")
+	}
+	if len(b2.Data) != 64 {
+		t.Fatalf("recycled buffer len = %d, want 64", len(b2.Data))
+	}
+}
+
+// A free from a *different* thread must land on the owner's pool — the
+// lockless remote free that replaces the arena mutex.
+func TestPoolRemoteFree(t *testing.T) {
+	p := NewPoolAllocator(2, 16)
+	b := p.Alloc(0, 32)
+	p.Free(1, b) // thread 1 frees thread 0's buffer
+	if v := p.Alloc(1, 32); v == b {
+		t.Fatal("buffer recycled to wrong thread's pool")
+	}
+	if v := p.Alloc(0, 32); v != b {
+		t.Fatal("owner did not get its buffer back")
+	}
+}
+
+func TestPoolThresholdSpills(t *testing.T) {
+	const threshold = 4
+	p := NewPoolAllocator(1, threshold)
+	bufs := make([]*Buffer, threshold+3)
+	for i := range bufs {
+		bufs[i] = p.Alloc(0, 8)
+	}
+	for _, b := range bufs {
+		p.Free(0, b)
+	}
+	if got := p.Stats().HeapFrees.Load(); got != 3 {
+		t.Fatalf("HeapFrees = %d, want 3", got)
+	}
+	if got := p.Stats().PoolFrees.Load(); got != threshold {
+		t.Fatalf("PoolFrees = %d, want %d", got, threshold)
+	}
+}
+
+func TestPoolTooSmallBufferNotReturned(t *testing.T) {
+	p := NewPoolAllocator(1, 16)
+	small := p.Alloc(0, 8)
+	p.Free(0, small)
+	big := p.Alloc(0, 1024)
+	if big == small {
+		t.Fatal("undersized buffer returned for large request")
+	}
+	if len(big.Data) != 1024 {
+		t.Fatalf("len = %d", len(big.Data))
+	}
+}
+
+func TestArenaRoundTrip(t *testing.T) {
+	a := NewArenaAllocator(4, 2)
+	b := a.Alloc(0, 100)
+	if len(b.Data) != 100 {
+		t.Fatalf("len = %d", len(b.Data))
+	}
+	a.Free(0, b)
+	b2 := a.Alloc(0, 50)
+	if b2 != b {
+		t.Fatal("arena did not recycle buffer")
+	}
+}
+
+func TestArenaFreeGoesToOwningArena(t *testing.T) {
+	a := NewArenaAllocator(2, 2)
+	b := a.Alloc(0, 10)
+	ar := b.arena
+	a.Free(1, b) // remote free
+	ar.mu.Lock()
+	n := len(ar.free)
+	ar.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("owning arena free list has %d entries, want 1", n)
+	}
+}
+
+// The paper's microbenchmark pattern: every thread allocates 100 buffers and
+// frees them, concurrently, with cross-thread frees mixed in. No buffer may
+// be live twice.
+func allocatorStress(t *testing.T, mk func() Allocator, nthreads int) {
+	t.Helper()
+	a := mk()
+	var wg sync.WaitGroup
+	for tid := 0; tid < nthreads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				bufs := make([]*Buffer, 100)
+				for i := range bufs {
+					bufs[i] = a.Alloc(tid, 64)
+					// Write a signature; a double-handed-out buffer would race.
+					bufs[i].Data[0] = byte(tid)
+					bufs[i].Data[1] = byte(i)
+				}
+				for i, b := range bufs {
+					if b.Data[0] != byte(tid) || b.Data[1] != byte(i) {
+						t.Errorf("buffer aliased: got (%d,%d) want (%d,%d)",
+							b.Data[0], b.Data[1], tid, i)
+						return
+					}
+					// Free half remotely to exercise cross-thread frees.
+					ft := tid
+					if i%2 == 0 {
+						ft = (tid + 1) % nthreads
+					}
+					a.Free(ft, b)
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+func TestPoolAllocatorStress(t *testing.T) {
+	allocatorStress(t, func() Allocator { return NewPoolAllocator(8, 64) }, 8)
+}
+func TestArenaAllocatorStress(t *testing.T) {
+	allocatorStress(t, func() Allocator { return NewArenaAllocator(8, 4) }, 8)
+}
+
+// Property: any sequence of alloc/free pairs leaves the pool with
+// PoolFrees+HeapFrees == total frees and never hands out a buffer twice.
+func TestQuickPoolConservation(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		p := NewPoolAllocator(1, 8)
+		live := map[*Buffer]bool{}
+		for _, s := range sizes {
+			b := p.Alloc(0, int(s)+1)
+			if live[b] {
+				return false
+			}
+			live[b] = true
+			if s%2 == 0 {
+				p.Free(0, b)
+				delete(live, b)
+			}
+		}
+		frees := p.Stats().PoolFrees.Load() + p.Stats().HeapFrees.Load()
+		allocs := p.Stats().HeapAllocs.Load() + p.Stats().PoolHits.Load()
+		return allocs == int64(len(sizes)) && frees <= int64(len(sizes))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// benchAllocFree is the Fig. 6 pattern: nthreads threads each allocate 100
+// buffers then free all 100, with the frees targeting buffers received from
+// a neighbouring thread (the message-receive pattern that contends arenas).
+func benchAllocFree(b *testing.B, a Allocator, nthreads, size int) {
+	b.ReportAllocs()
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		exchange := make([][]*Buffer, nthreads)
+		for tid := 0; tid < nthreads; tid++ {
+			exchange[tid] = make([]*Buffer, 100)
+		}
+		wg.Add(nthreads)
+		for tid := 0; tid < nthreads; tid++ {
+			go func(tid int) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					exchange[tid][i] = a.Alloc(tid, size)
+				}
+			}(tid)
+		}
+		wg.Wait()
+		wg.Add(nthreads)
+		for tid := 0; tid < nthreads; tid++ {
+			go func(tid int) {
+				defer wg.Done()
+				// Free the neighbour's buffers: the remote-free pattern.
+				for _, buf := range exchange[(tid+1)%nthreads] {
+					a.Free(tid, buf)
+				}
+			}(tid)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkAllocFree64Threads(b *testing.B) {
+	for _, size := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("pool/size=%d", size), func(b *testing.B) {
+			benchAllocFree(b, NewPoolAllocator(64, 0), 64, size)
+		})
+		b.Run(fmt.Sprintf("arena/size=%d", size), func(b *testing.B) {
+			benchAllocFree(b, NewArenaAllocator(64, 8), 64, size)
+		})
+	}
+}

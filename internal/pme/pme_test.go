@@ -1,0 +1,309 @@
+package pme
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blueq/internal/md"
+)
+
+// partition of unity: Σ_k M_n(u-k) == 1 for any u.
+func TestBsplinePartitionOfUnity(t *testing.T) {
+	for _, order := range []int{2, 3, 4, 6, 8} {
+		for _, u := range []float64{0.0, 0.3, 1.7, 2.5, 3.99} {
+			sum := 0.0
+			for k := -order; k <= order+4; k++ {
+				sum += bsplineValue(order, u-float64(k)+float64(order)/2)
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("order %d u %g: Σ M = %g", order, u, sum)
+			}
+		}
+	}
+}
+
+func TestBsplineSupportAndPositivity(t *testing.T) {
+	for _, order := range []int{2, 4, 6} {
+		if v := bsplineValue(order, -0.1); v != 0 {
+			t.Fatalf("M_%d(-0.1) = %g", order, v)
+		}
+		if v := bsplineValue(order, float64(order)+0.1); v != 0 {
+			t.Fatalf("M_%d(n+0.1) = %g", order, v)
+		}
+		for u := 0.05; u < float64(order); u += 0.1 {
+			if bsplineValue(order, u) < 0 {
+				t.Fatalf("M_%d(%g) negative", order, u)
+			}
+		}
+	}
+}
+
+func TestBsplineWeightsDerivative(t *testing.T) {
+	const order = 4
+	w := make([]float64, order)
+	dw := make([]float64, order)
+	wp := make([]float64, order)
+	wm := make([]float64, order)
+	dwTmp := make([]float64, order)
+	for _, u := range []float64{3.2, 7.9, 12.45} {
+		k0 := bsplineWeights(order, u, w, dw)
+		const h = 1e-6
+		k0p := bsplineWeights(order, u+h, wp, dwTmp)
+		k0m := bsplineWeights(order, u-h, wm, dwTmp)
+		if k0p != k0 || k0m != k0 {
+			continue // crossed a knot; skip this sample
+		}
+		for j := 0; j < order; j++ {
+			num := (wp[j] - wm[j]) / (2 * h)
+			if math.Abs(num-dw[j]) > 1e-6 {
+				t.Fatalf("u=%g j=%d: dw %g vs numeric %g", u, j, dw[j], num)
+			}
+		}
+	}
+}
+
+func TestSplineModuliPositive(t *testing.T) {
+	for _, order := range []int{4, 6} {
+		for _, k := range []int{16, 24, 27} {
+			b := splineModuli(k, order)
+			for m, v := range b {
+				if v < 0 {
+					t.Fatalf("K=%d order=%d: |b(%d)|² = %g", k, order, m, v)
+				}
+			}
+			if b[0] <= 0 {
+				t.Fatalf("b(0) = %g", b[0])
+			}
+		}
+	}
+}
+
+// dipoleFreeSystem builds a neutral, inversion-symmetric charged system so
+// the conditionally-convergent direct lattice sum has no surface term.
+func dipoleFreeSystem(nPairs int, edge float64, seed int64) *md.System {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 * nPairs
+	s := &md.System{
+		Box:    md.Box{L: md.Vec3{edge, edge, edge}},
+		Pos:    make([]md.Vec3, n),
+		Vel:    make([]md.Vec3, n),
+		Charge: make([]float64, n),
+		Mass:   make([]float64, n),
+		Eps:    make([]float64, n),
+		Sigma:  make([]float64, n),
+	}
+	centre := md.Vec3{edge / 2, edge / 2, edge / 2}
+	for p := 0; p < nPairs; p++ {
+		off := md.Vec3{
+			(rng.Float64() - 0.5) * edge * 0.8,
+			(rng.Float64() - 0.5) * edge * 0.8,
+			(rng.Float64() - 0.5) * edge * 0.8,
+		}
+		q := rng.Float64()*2 - 1
+		s.Pos[2*p] = s.Box.Wrap(centre.Add(off))
+		s.Pos[2*p+1] = s.Box.Wrap(centre.Sub(off))
+		// Same charge at ±off: zero dipole, nonzero higher moments.
+		s.Charge[2*p] = q
+		s.Charge[2*p+1] = q
+		s.Mass[2*p], s.Mass[2*p+1] = 1, 1
+	}
+	// Neutralize exactly.
+	net := s.NetCharge()
+	for i := range s.Charge {
+		s.Charge[i] -= net / float64(n)
+	}
+	return s
+}
+
+// PME reciprocal energy and forces must match the exact reciprocal sum.
+func TestRecipMatchesDirect(t *testing.T) {
+	s := dipoleFreeSystem(12, 8, 1)
+	beta := 0.9
+	r, err := NewRecip(Config{Grid: [3]int{32, 32, 32}, Order: 6, Beta: beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := md.NewForces(s.N())
+	resPME := r.Compute(s, fp)
+	fd := md.NewForces(s.N())
+	eDir := DirectRecip(s, beta, 12, fd)
+	if rel := math.Abs(resPME.Energy-eDir) / math.Abs(eDir); rel > 1e-3 {
+		t.Fatalf("PME recip energy %g vs direct %g (rel %g)", resPME.Energy, eDir, rel)
+	}
+	// Forces.
+	var scale float64
+	for i := range fd.F {
+		scale = math.Max(scale, fd.F[i].Norm())
+	}
+	for i := range fd.F {
+		if d := fp.F[i].Sub(fd.F[i]).Norm(); d > 2e-3*scale {
+			t.Fatalf("atom %d: PME force %v vs direct %v", i, fp.F[i], fd.F[i])
+		}
+	}
+}
+
+// Increasing grid resolution and order must reduce PME error.
+func TestRecipConvergence(t *testing.T) {
+	s := dipoleFreeSystem(10, 6, 2)
+	beta := 1.0
+	fd := md.NewForces(s.N())
+	eDir := DirectRecip(s, beta, 14, fd)
+	errAt := func(grid, order int) float64 {
+		r, err := NewRecip(Config{Grid: [3]int{grid, grid, grid}, Order: order, Beta: beta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := md.NewForces(s.N())
+		res := r.Compute(s, f)
+		return math.Abs(res.Energy - eDir)
+	}
+	coarse := errAt(16, 4)
+	fine := errAt(48, 8)
+	if fine > coarse {
+		t.Fatalf("error did not shrink: coarse %g fine %g", coarse, fine)
+	}
+	if fine > 1e-6*math.Abs(eDir)+1e-9 {
+		t.Fatalf("fine-grid error %g too large (E=%g)", fine, eDir)
+	}
+}
+
+// Full Ewald (real-space erfc within cutoff + PME reciprocal + self +
+// exclusion correction) must equal the brute-force periodic Coulomb sum.
+func TestFullEwaldMatchesBruteForce(t *testing.T) {
+	s := dipoleFreeSystem(8, 7, 3)
+	beta := 1.1
+	cutoff := 3.4 // erfc(1.1*3.4) ≈ 1e-7: real-space converged in cutoff
+
+	f := md.NewForces(s.N())
+	md.ComputeNonbonded(s, md.NonbondedParams{Cutoff: cutoff, EwaldBeta: beta}, f)
+	r, err := NewRecip(Config{Grid: [3]int{36, 36, 36}, Order: 6, Beta: beta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Compute(s, f)
+	ExclusionCorrection(s, beta, f)
+	ewald := f.ElecEnergy
+
+	fb := md.NewForces(s.N())
+	brute := DirectCoulomb(s, 14, fb)
+
+	if rel := math.Abs(ewald-brute) / math.Abs(brute); rel > 5e-3 {
+		t.Fatalf("Ewald total %g vs brute force %g (rel %g)", ewald, brute, rel)
+	}
+	var scale float64
+	for i := range fb.F {
+		scale = math.Max(scale, fb.F[i].Norm())
+	}
+	for i := range fb.F {
+		if d := f.F[i].Sub(fb.F[i]).Norm(); d > 1e-2*scale {
+			t.Fatalf("atom %d: Ewald force %v vs brute %v", i, f.F[i], fb.F[i])
+		}
+	}
+}
+
+// The exclusion correction must be the gradient of its energy.
+func TestExclusionCorrectionGradient(t *testing.T) {
+	s := md.WaterBox(md.WaterBoxConfig{Molecules: 4, Seed: 4})
+	beta := 0.5
+	energy := func() float64 {
+		f := md.NewForces(s.N())
+		return ExclusionCorrection(s, beta, f)
+	}
+	f := md.NewForces(s.N())
+	ExclusionCorrection(s, beta, f)
+	const h = 1e-6
+	for _, probe := range [][2]int{{0, 0}, {1, 2}, {5, 1}} {
+		i, d := probe[0], probe[1]
+		orig := s.Pos[i][d]
+		s.Pos[i][d] = orig + h
+		ep := energy()
+		s.Pos[i][d] = orig - h
+		em := energy()
+		s.Pos[i][d] = orig
+		want := -(ep - em) / (2 * h)
+		if math.Abs(f.F[i][d]-want) > 1e-5*(1+math.Abs(want)) {
+			t.Fatalf("atom %d dim %d: force %g vs -grad %g", i, d, f.F[i][d], want)
+		}
+	}
+}
+
+// The combined force field conserves energy in NVE, with PME every step
+// and with multiple timestepping (PME every 4, the paper's setting).
+func TestForceFieldEnergyConservation(t *testing.T) {
+	for _, every := range []int{1, 4} {
+		s := md.WaterBox(md.WaterBoxConfig{Molecules: 16, Seed: 5})
+		s.Thermalize(0.3, rand.New(rand.NewSource(6)))
+		beta := 0.7
+		nb := md.NonbondedParams{Cutoff: 4.0, SwitchDist: 3.2, EwaldBeta: beta}
+		ff, err := NewForceField(nb, Config{Grid: [3]int{20, 20, 20}, Order: 4, Beta: beta}, every)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := md.NewIntegrator(0.0001, ff)
+		for i := 0; i < 50; i++ {
+			in.Step(s)
+		}
+		e0 := in.TotalEnergy(s)
+		for i := 0; i < 200; i++ {
+			in.Step(s)
+		}
+		e1 := in.TotalEnergy(s)
+		scale := math.Max(math.Abs(e0), s.KineticEnergy())
+		tol := 2e-3 * scale
+		if every > 1 {
+			tol *= 3 // multiple timestepping trades a little drift for speed
+		}
+		if drift := math.Abs(e1 - e0); drift > tol {
+			t.Fatalf("every=%d: drift %g (E0=%g E1=%g)", every, drift, e0, e1)
+		}
+	}
+}
+
+// PMEEvery=4 must evaluate the reciprocal sum 4x less often.
+func TestMultipleTimesteppingSkipsRecip(t *testing.T) {
+	s := md.WaterBox(md.WaterBoxConfig{Molecules: 8, Seed: 7})
+	beta := 0.7
+	nb := md.NonbondedParams{Cutoff: 3.5, EwaldBeta: beta}
+	ff, err := NewForceField(nb, Config{Grid: [3]int{16, 16, 16}, Order: 4, Beta: beta}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := md.NewIntegrator(0.0001, ff)
+	for i := 0; i < 16; i++ {
+		in.Step(s)
+	}
+	// 17 force evaluations (prime + 16 steps): ceil(17/4) = 5 recip evals.
+	if got := ff.RecipEvaluations(); got < 4 || got > 6 {
+		t.Fatalf("recip evaluations = %d, want ~5", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewRecip(Config{Grid: [3]int{8, 8, 2}, Order: 4, Beta: 0.5}); err == nil {
+		t.Fatal("grid < order accepted")
+	}
+	if _, err := NewRecip(Config{Grid: [3]int{16, 16, 16}, Order: 1, Beta: 0.5}); err == nil {
+		t.Fatal("order 1 accepted")
+	}
+	if _, err := NewRecip(Config{Grid: [3]int{16, 16, 16}, Order: 4, Beta: 0}); err == nil {
+		t.Fatal("beta 0 accepted")
+	}
+	if _, err := NewForceField(md.NonbondedParams{EwaldBeta: 0.5}, Config{Grid: [3]int{16, 16, 16}, Order: 4, Beta: 0.6}, 1); err == nil {
+		t.Fatal("mismatched beta accepted")
+	}
+}
+
+func BenchmarkRecip32(b *testing.B) {
+	s := md.WaterBox(md.WaterBoxConfig{Molecules: 200, Seed: 8})
+	r, err := NewRecip(Config{Grid: [3]int{32, 32, 32}, Order: 4, Beta: 0.35})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := md.NewForces(s.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Reset()
+		r.Compute(s, f)
+	}
+}

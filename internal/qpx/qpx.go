@@ -1,0 +1,304 @@
+// Package qpx models the Blue Gene/Q Quad Processing eXtension (QPX), the
+// 4-wide double-precision SIMD unit the paper uses to vectorize NAMD's
+// inner loops (§IV-B.1).
+//
+// A Vec4 is one QPX register: four float64 lanes. The operations mirror the
+// XL compiler intrinsics the paper used (splat, fused multiply-add, lane
+// loads/stores, reciprocal and rsqrt estimates with Newton refinement).
+// Written in lane-parallel style, the Go compiler can frequently keep the
+// four lanes in registers and schedule them together; the point of the
+// package, however, is structural: MD kernels in internal/md come in a
+// scalar and a QPX variant so the ablation benchmarks can measure the
+// speedup shape of 4-way vectorization plus the software pipelining
+// (load-to-use distance) trick the paper applied.
+package qpx
+
+import "math"
+
+// Width is the QPX vector width in float64 lanes.
+const Width = 4
+
+// Vec4 is one QPX register.
+type Vec4 [Width]float64
+
+// Splat returns a vector with all four lanes set to x (qvfsplat).
+func Splat(x float64) Vec4 { return Vec4{x, x, x, x} }
+
+// Load returns a vector loaded from the first four elements of s (qvlfd).
+// s must have at least four elements.
+func Load(s []float64) Vec4 { return Vec4{s[0], s[1], s[2], s[3]} }
+
+// LoadPartial loads up to four elements from s, zero-filling missing lanes;
+// it models the remainder handling at loop tails.
+func LoadPartial(s []float64) Vec4 {
+	var v Vec4
+	for i := 0; i < Width && i < len(s); i++ {
+		v[i] = s[i]
+	}
+	return v
+}
+
+// Store writes the four lanes to the first four elements of s (qvstfd).
+func (v Vec4) Store(s []float64) { copy(s[:Width], v[:]) }
+
+// Add returns v + w lane-wise (qvfadd).
+func (v Vec4) Add(w Vec4) Vec4 {
+	return Vec4{v[0] + w[0], v[1] + w[1], v[2] + w[2], v[3] + w[3]}
+}
+
+// Sub returns v - w lane-wise (qvfsub).
+func (v Vec4) Sub(w Vec4) Vec4 {
+	return Vec4{v[0] - w[0], v[1] - w[1], v[2] - w[2], v[3] - w[3]}
+}
+
+// Mul returns v * w lane-wise (qvfmul).
+func (v Vec4) Mul(w Vec4) Vec4 {
+	return Vec4{v[0] * w[0], v[1] * w[1], v[2] * w[2], v[3] * w[3]}
+}
+
+// Madd returns v*w + a lane-wise, the QPX fused multiply-add (qvfmadd).
+func (v Vec4) Madd(w, a Vec4) Vec4 {
+	return Vec4{
+		math.FMA(v[0], w[0], a[0]),
+		math.FMA(v[1], w[1], a[1]),
+		math.FMA(v[2], w[2], a[2]),
+		math.FMA(v[3], w[3], a[3]),
+	}
+}
+
+// Msub returns v*w - a lane-wise (qvfmsub).
+func (v Vec4) Msub(w, a Vec4) Vec4 {
+	return Vec4{
+		math.FMA(v[0], w[0], -a[0]),
+		math.FMA(v[1], w[1], -a[1]),
+		math.FMA(v[2], w[2], -a[2]),
+		math.FMA(v[3], w[3], -a[3]),
+	}
+}
+
+// Neg returns -v lane-wise (qvfneg).
+func (v Vec4) Neg() Vec4 { return Vec4{-v[0], -v[1], -v[2], -v[3]} }
+
+// Abs returns |v| lane-wise (qvfabs).
+func (v Vec4) Abs() Vec4 {
+	return Vec4{math.Abs(v[0]), math.Abs(v[1]), math.Abs(v[2]), math.Abs(v[3])}
+}
+
+// Min returns the lane-wise minimum.
+func (v Vec4) Min(w Vec4) Vec4 {
+	return Vec4{math.Min(v[0], w[0]), math.Min(v[1], w[1]), math.Min(v[2], w[2]), math.Min(v[3], w[3])}
+}
+
+// Max returns the lane-wise maximum.
+func (v Vec4) Max(w Vec4) Vec4 {
+	return Vec4{math.Max(v[0], w[0]), math.Max(v[1], w[1]), math.Max(v[2], w[2]), math.Max(v[3], w[3])}
+}
+
+// Sel returns w[i] where mask[i] >= 0 and v[i] otherwise (qvfsel).
+func (v Vec4) Sel(w, mask Vec4) Vec4 {
+	var r Vec4
+	for i := 0; i < Width; i++ {
+		if mask[i] >= 0 {
+			r[i] = w[i]
+		} else {
+			r[i] = v[i]
+		}
+	}
+	return r
+}
+
+// CmpLT returns a mask with +1 where v < w and -1 elsewhere, the QPX
+// comparison encoding consumed by Sel.
+func (v Vec4) CmpLT(w Vec4) Vec4 {
+	var r Vec4
+	for i := 0; i < Width; i++ {
+		if v[i] < w[i] {
+			r[i] = 1
+		} else {
+			r[i] = -1
+		}
+	}
+	return r
+}
+
+// Recip returns 1/v lane-wise via the QPX reciprocal-estimate + one
+// Newton-Raphson refinement sequence (qvfre + qvfmadd), matching the
+// precision strategy of the NAMD inner loop.
+func (v Vec4) Recip() Vec4 {
+	var r Vec4
+	for i := 0; i < Width; i++ {
+		e := 1 / v[i] // estimate (exact here; hardware gives ~13 bits)
+		// One refinement step keeps the instruction shape of the kernel.
+		e = e * (2 - v[i]*e)
+		r[i] = e
+	}
+	return r
+}
+
+// Rsqrt returns 1/sqrt(v) lane-wise via estimate + Newton refinement
+// (qvfrsqrte), the operation at the heart of the r^-1 distance computation.
+func (v Vec4) Rsqrt() Vec4 {
+	var r Vec4
+	for i := 0; i < Width; i++ {
+		e := 1 / math.Sqrt(v[i])
+		e = e * (1.5 - 0.5*v[i]*e*e)
+		r[i] = e
+	}
+	return r
+}
+
+// Sqrt returns sqrt(v) lane-wise.
+func (v Vec4) Sqrt() Vec4 {
+	return Vec4{math.Sqrt(v[0]), math.Sqrt(v[1]), math.Sqrt(v[2]), math.Sqrt(v[3])}
+}
+
+// HSum returns the horizontal sum of the four lanes (the cross-lane
+// reduction done with qvfperm+adds at loop exit).
+func (v Vec4) HSum() float64 { return (v[0] + v[1]) + (v[2] + v[3]) }
+
+// ---------------------------------------------------------------------------
+// Array kernels built on Vec4. These are the shapes used by internal/md.
+
+// AXPY computes y += a*x for float64 slices using 4-wide vectors with a
+// scalar tail. len(x) must equal len(y).
+func AXPY(a float64, x, y []float64) {
+	va := Splat(a)
+	n := len(x) &^ (Width - 1)
+	for i := 0; i < n; i += Width {
+		Load(x[i:]).Madd(va, Load(y[i:])).Store(y[i:])
+	}
+	for i := n; i < len(x); i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// Dot returns the dot product of x and y using 4-wide accumulation.
+func Dot(x, y []float64) float64 {
+	var acc Vec4
+	n := len(x) &^ (Width - 1)
+	for i := 0; i < n; i += Width {
+		acc = Load(x[i:]).Madd(Load(y[i:]), acc)
+	}
+	s := acc.HSum()
+	for i := n; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// InterpolationTable models the NAMD force interpolation table: forces as a
+// cubic polynomial per r² bin. The paper's L1-pressure discussion (§IV-B.1)
+// is about exactly this table; LookupQPX processes four interactions at a
+// time with the loads hoisted ahead of use (software-pipelined, the
+// "load-to-use distance" optimization).
+type InterpolationTable struct {
+	// Coefficients c0..c3 per bin, stored as structure-of-arrays so QPX
+	// lane loads are contiguous.
+	C0, C1, C2, C3 []float64
+	RMin, Scale    float64 // bin = (r2 - RMin) * Scale
+}
+
+// NewInterpolationTable builds a table with n bins approximating f over
+// [rmin, rmax) by per-bin cubic fits through four samples.
+func NewInterpolationTable(f func(r2 float64) float64, rmin, rmax float64, n int) *InterpolationTable {
+	t := &InterpolationTable{
+		C0: make([]float64, n), C1: make([]float64, n),
+		C2: make([]float64, n), C3: make([]float64, n),
+		RMin:  rmin,
+		Scale: float64(n) / (rmax - rmin),
+	}
+	h := (rmax - rmin) / float64(n)
+	for b := 0; b < n; b++ {
+		x0 := rmin + float64(b)*h
+		// Sample at 4 Chebyshev-ish points in the bin and fit a cubic in the
+		// local coordinate u = (r2-x0)/h ∈ [0,1).
+		var xs, ys [4]float64
+		for k := 0; k < 4; k++ {
+			u := (float64(k) + 0.5) / 4
+			xs[k] = u
+			ys[k] = f(x0 + u*h)
+		}
+		c := fitCubic(xs, ys)
+		t.C0[b], t.C1[b], t.C2[b], t.C3[b] = c[0], c[1], c[2], c[3]
+	}
+	return t
+}
+
+// fitCubic solves the 4x4 Vandermonde system for a cubic through the points.
+func fitCubic(x, y [4]float64) [4]float64 {
+	// Build Vandermonde matrix and solve by Gaussian elimination.
+	var m [4][5]float64
+	for i := 0; i < 4; i++ {
+		m[i][0] = 1
+		m[i][1] = x[i]
+		m[i][2] = x[i] * x[i]
+		m[i][3] = x[i] * x[i] * x[i]
+		m[i][4] = y[i]
+	}
+	for col := 0; col < 4; col++ {
+		p := col
+		for r := col + 1; r < 4; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		m[col], m[p] = m[p], m[col]
+		for r := 0; r < 4; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c < 5; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	var out [4]float64
+	for i := 0; i < 4; i++ {
+		out[i] = m[i][4] / m[i][i]
+	}
+	return out
+}
+
+// Lookup evaluates the table at r2 (scalar path).
+func (t *InterpolationTable) Lookup(r2 float64) float64 {
+	bins := len(t.C0)
+	pos := (r2 - t.RMin) * t.Scale
+	b := int(pos)
+	if b < 0 {
+		b = 0
+	} else if b >= bins {
+		b = bins - 1
+	}
+	h := 1 / t.Scale
+	u := (r2 - (t.RMin + float64(b)*h)) / h
+	return t.C0[b] + u*(t.C1[b]+u*(t.C2[b]+u*t.C3[b]))
+}
+
+// LookupQPX evaluates the table for four r² values at once. The coefficient
+// loads for all four lanes are issued before any arithmetic uses them,
+// mirroring the increased load-to-use distance the paper tuned for the L1P
+// latency (~27 cycles).
+func (t *InterpolationTable) LookupQPX(r2 Vec4) Vec4 {
+	bins := len(t.C0)
+	h := 1 / t.Scale
+	var b [Width]int
+	var u Vec4
+	for i := 0; i < Width; i++ {
+		pos := (r2[i] - t.RMin) * t.Scale
+		bi := int(pos)
+		if bi < 0 {
+			bi = 0
+		} else if bi >= bins {
+			bi = bins - 1
+		}
+		b[i] = bi
+		u[i] = (r2[i] - (t.RMin + float64(bi)*h)) / h
+	}
+	// Hoisted gather loads: all 16 coefficients in flight before use.
+	c0 := Vec4{t.C0[b[0]], t.C0[b[1]], t.C0[b[2]], t.C0[b[3]]}
+	c1 := Vec4{t.C1[b[0]], t.C1[b[1]], t.C1[b[2]], t.C1[b[3]]}
+	c2 := Vec4{t.C2[b[0]], t.C2[b[1]], t.C2[b[2]], t.C2[b[3]]}
+	c3 := Vec4{t.C3[b[0]], t.C3[b[1]], t.C3[b[2]], t.C3[b[3]]}
+	return u.Madd(u.Madd(u.Madd(c3, c2), c1), c0)
+}

@@ -1,0 +1,252 @@
+package qpx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol || d <= tol*m
+}
+
+func TestSplatLoadStore(t *testing.T) {
+	v := Splat(3.5)
+	for i := 0; i < Width; i++ {
+		if v[i] != 3.5 {
+			t.Fatalf("lane %d = %v", i, v[i])
+		}
+	}
+	src := []float64{1, 2, 3, 4, 5}
+	w := Load(src)
+	dst := make([]float64, 4)
+	w.Store(dst)
+	for i := 0; i < 4; i++ {
+		if dst[i] != src[i] {
+			t.Fatalf("lane %d: %v != %v", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestLoadPartial(t *testing.T) {
+	v := LoadPartial([]float64{7, 8})
+	want := Vec4{7, 8, 0, 0}
+	if v != want {
+		t.Fatalf("LoadPartial = %v, want %v", v, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := Vec4{1, 2, 3, 4}
+	b := Vec4{10, 20, 30, 40}
+	if got := a.Add(b); got != (Vec4{11, 22, 33, 44}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Vec4{9, 18, 27, 36}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Mul(b); got != (Vec4{10, 40, 90, 160}) {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := a.Neg(); got != (Vec4{-1, -2, -3, -4}) {
+		t.Fatalf("Neg = %v", got)
+	}
+	if got := a.Neg().Abs(); got != a {
+		t.Fatalf("Abs = %v", got)
+	}
+}
+
+func TestMaddMsub(t *testing.T) {
+	a := Vec4{1, 2, 3, 4}
+	b := Vec4{5, 6, 7, 8}
+	c := Vec4{100, 100, 100, 100}
+	madd := a.Madd(b, c)
+	msub := a.Msub(b, c)
+	for i := 0; i < Width; i++ {
+		if !almostEq(madd[i], a[i]*b[i]+c[i], 1e-15) {
+			t.Fatalf("Madd lane %d = %v", i, madd[i])
+		}
+		if !almostEq(msub[i], a[i]*b[i]-c[i], 1e-15) {
+			t.Fatalf("Msub lane %d = %v", i, msub[i])
+		}
+	}
+}
+
+func TestMinMaxSelCmp(t *testing.T) {
+	a := Vec4{1, 5, 3, 8}
+	b := Vec4{2, 4, 3, 7}
+	if got := a.Min(b); got != (Vec4{1, 4, 3, 7}) {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := a.Max(b); got != (Vec4{2, 5, 3, 8}) {
+		t.Fatalf("Max = %v", got)
+	}
+	mask := a.CmpLT(b) // +1 where a<b
+	if mask != (Vec4{1, -1, -1, -1}) {
+		t.Fatalf("CmpLT = %v", mask)
+	}
+	sel := a.Sel(b, mask) // take b where mask>=0
+	if sel != (Vec4{2, 5, 3, 8}) {
+		t.Fatalf("Sel = %v", sel)
+	}
+}
+
+func TestRecipRsqrtSqrt(t *testing.T) {
+	v := Vec4{1, 4, 9, 0.25}
+	r := v.Recip()
+	rs := v.Rsqrt()
+	sq := v.Sqrt()
+	for i := 0; i < Width; i++ {
+		if !almostEq(r[i], 1/v[i], 1e-12) {
+			t.Fatalf("Recip lane %d = %v", i, r[i])
+		}
+		if !almostEq(rs[i], 1/math.Sqrt(v[i]), 1e-12) {
+			t.Fatalf("Rsqrt lane %d = %v", i, rs[i])
+		}
+		if !almostEq(sq[i], math.Sqrt(v[i]), 1e-15) {
+			t.Fatalf("Sqrt lane %d = %v", i, sq[i])
+		}
+	}
+}
+
+func TestHSum(t *testing.T) {
+	if got := (Vec4{1, 2, 3, 4}).HSum(); got != 10 {
+		t.Fatalf("HSum = %v", got)
+	}
+}
+
+func TestAXPYMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 3, 4, 7, 64, 65} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		want := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+			want[i] = y[i] + 2.5*x[i]
+		}
+		AXPY(2.5, x, y)
+		for i := range y {
+			if !almostEq(y[i], want[i], 1e-14) {
+				t.Fatalf("n=%d lane %d: %v != %v", n, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDotMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 5, 128, 131} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		want := 0.0
+		for i := range x {
+			x[i] = rng.Float64()
+			y[i] = rng.Float64()
+			want += x[i] * y[i]
+		}
+		if got := Dot(x, y); !almostEq(got, want, 1e-12) {
+			t.Fatalf("n=%d: Dot = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestInterpolationTableAccuracy(t *testing.T) {
+	f := func(r2 float64) float64 { return 1 / (r2 * math.Sqrt(r2)) } // r^-3, force-like
+	tab := NewInterpolationTable(f, 1, 144, 768)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		r2 := 1 + rng.Float64()*142.9
+		got := tab.Lookup(r2)
+		want := f(r2)
+		if !almostEq(got, want, 1e-4) {
+			t.Fatalf("Lookup(%v) = %v, want %v", r2, got, want)
+		}
+	}
+}
+
+// QPX and scalar table paths must agree exactly lane-by-lane.
+func TestLookupQPXMatchesScalar(t *testing.T) {
+	f := func(r2 float64) float64 { return math.Exp(-r2 / 50) }
+	tab := NewInterpolationTable(f, 0.5, 200, 512)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		var r2 Vec4
+		for l := 0; l < Width; l++ {
+			r2[l] = 0.5 + rng.Float64()*199
+		}
+		got := tab.LookupQPX(r2)
+		for l := 0; l < Width; l++ {
+			want := tab.Lookup(r2[l])
+			if !almostEq(got[l], want, 1e-12) {
+				t.Fatalf("lane %d: QPX %v != scalar %v at r2=%v", l, got[l], want, r2[l])
+			}
+		}
+	}
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a, b Vec4) bool { return a.Add(b) == b.Add(a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaddVsMulAdd(t *testing.T) {
+	f := func(a, b, c Vec4) bool {
+		m := a.Madd(b, c)
+		for i := 0; i < Width; i++ {
+			want := math.FMA(a[i], b[i], c[i])
+			if m[i] != want && !(math.IsNaN(m[i]) && math.IsNaN(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookupScalar(b *testing.B) {
+	f := func(r2 float64) float64 { return 1 / (r2 * math.Sqrt(r2)) }
+	tab := NewInterpolationTable(f, 1, 144, 768)
+	r2s := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(5))
+	for i := range r2s {
+		r2s[i] = 1 + rng.Float64()*142
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, r2 := range r2s {
+			sink += tab.Lookup(r2)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkLookupQPX(b *testing.B) {
+	f := func(r2 float64) float64 { return 1 / (r2 * math.Sqrt(r2)) }
+	tab := NewInterpolationTable(f, 1, 144, 768)
+	r2s := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(5))
+	for i := range r2s {
+		r2s[i] = 1 + rng.Float64()*142
+	}
+	b.ResetTimer()
+	var sink Vec4
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < len(r2s); j += Width {
+			sink = sink.Add(tab.LookupQPX(Load(r2s[j:])))
+		}
+	}
+	_ = sink
+}

@@ -1,0 +1,191 @@
+// Package stats provides the small table/series formatting and summary
+// helpers shared by the benchmark commands and EXPERIMENTS.md generation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// values with enough precision.
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 1 {
+		return fmt.Sprintf("%.2f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(t.Headers) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Series is a labelled (x, y) sequence for figure-style output.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// RenderSeries prints several series as a combined table keyed by x.
+func RenderSeries(title, xlabel string, series ...*Series) string {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	headers := []string{xlabel}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	t := NewTable(title, headers...)
+	for _, x := range sorted {
+		row := make([]any, 0, len(series)+1)
+		row = append(row, FormatFloat(x))
+		for _, s := range series {
+			v := math.NaN()
+			for i, sx := range s.X {
+				if sx == x {
+					v = s.Y[i]
+					break
+				}
+			}
+			if math.IsNaN(v) {
+				row = append(row, "-")
+			} else {
+				row = append(row, v)
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// Summary holds basic statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	Stddev         float64
+	P50, P90, P99  float64
+}
+
+// Summarize computes summary statistics (percentiles by nearest rank).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(len(sorted))
+	varsum := 0.0
+	for _, x := range sorted {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	s.Stddev = math.Sqrt(varsum / float64(len(sorted)))
+	pick := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	s.P50, s.P90, s.P99 = pick(0.50), pick(0.90), pick(0.99)
+	return s
+}
+
+// Ratio formats a/b as the paper's speedup notation.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}

@@ -1,0 +1,110 @@
+package torus
+
+// Topology-aware placement (paper §VII: "on larger BG/Q configurations we
+// expect topological placement will improve performance and we plan to
+// explore that"). A 3D logical block grid — NAMD patches, FFT pencils,
+// stencil tiles — is folded onto the 5D torus so that logically adjacent
+// blocks land on physically nearby nodes.
+
+// Fold3D groups the five torus dimensions into a virtual 3D machine grid
+// (MX, MY, MZ): dimensions are greedily multiplied into the currently
+// smallest group, keeping the three extents balanced.
+func (t *Torus) Fold3D() (mx, my, mz int, groups [3][]int) {
+	ext := [3]int{1, 1, 1}
+	// Process dimensions from largest extent to smallest for balance.
+	order := []int{0, 1, 2, 3, 4}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if t.shape[order[j]] > t.shape[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, d := range order {
+		if t.shape[d] == 1 {
+			continue
+		}
+		smallest := 0
+		for g := 1; g < 3; g++ {
+			if ext[g] < ext[smallest] {
+				smallest = g
+			}
+		}
+		ext[smallest] *= t.shape[d]
+		groups[smallest] = append(groups[smallest], d)
+	}
+	return ext[0], ext[1], ext[2], groups
+}
+
+// machineCoord converts a virtual (x,y,z) machine cell into a torus
+// coordinate using the groups from Fold3D.
+func (t *Torus) machineCoord(groups [3][]int, v [3]int) Coord {
+	var c Coord
+	for g := 0; g < 3; g++ {
+		rem := v[g]
+		for _, d := range groups[g] {
+			c[d] = rem % t.shape[d]
+			rem /= t.shape[d]
+		}
+	}
+	return c
+}
+
+// Map3D returns a placement of a bx×by×bz logical block grid onto node
+// ranks such that adjacent blocks are topologically close: block (i,j,k)
+// maps into the proportional cell of the folded 3D machine grid. Multiple
+// blocks may share a node when there are more blocks than nodes; when
+// there are more nodes than blocks, blocks spread evenly.
+// The returned slice is indexed (i*by + j)*bz + k.
+func (t *Torus) Map3D(bx, by, bz int) []int {
+	mx, my, mz, groups := t.Fold3D()
+	out := make([]int, bx*by*bz)
+	idx := 0
+	for i := 0; i < bx; i++ {
+		for j := 0; j < by; j++ {
+			for k := 0; k < bz; k++ {
+				v := [3]int{i * mx / bx, j * my / by, k * mz / bz}
+				out[idx] = t.RankOf(t.machineCoord(groups, v))
+				idx++
+			}
+		}
+	}
+	return out
+}
+
+// LinearMap3D is the topology-oblivious baseline: blocks in row-major
+// order onto ranks in linear order.
+func (t *Torus) LinearMap3D(bx, by, bz int) []int {
+	n := t.Nodes()
+	total := bx * by * bz
+	out := make([]int, total)
+	for i := range out {
+		out[i] = i * n / total
+	}
+	return out
+}
+
+// AvgNeighborHops measures a placement: the mean hop distance between
+// 6-neighbour blocks (the communication pattern of stencils, patches and
+// pencil transposes). Lower is better.
+func (t *Torus) AvgNeighborHops(mapping []int, bx, by, bz int) float64 {
+	at := func(i, j, k int) int { return mapping[(i*by+j)*bz+k] }
+	total, pairs := 0.0, 0
+	for i := 0; i < bx; i++ {
+		for j := 0; j < by; j++ {
+			for k := 0; k < bz; k++ {
+				a := at(i, j, k)
+				// +x, +y, +z neighbours with wraparound (periodic pattern).
+				for _, nb := range [][3]int{{(i + 1) % bx, j, k}, {i, (j + 1) % by, k}, {i, j, (k + 1) % bz}} {
+					b := at(nb[0], nb[1], nb[2])
+					total += float64(t.HopCount(a, b))
+					pairs++
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return total / float64(pairs)
+}

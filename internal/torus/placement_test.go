@@ -1,0 +1,121 @@
+package torus
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFold3DCoversAllNodes(t *testing.T) {
+	for _, nodes := range []int{64, 512, 4096} {
+		tor := MustNew(ShapeForNodes(nodes))
+		mx, my, mz, groups := tor.Fold3D()
+		if mx*my*mz != nodes {
+			t.Fatalf("%d nodes: fold %dx%dx%d = %d", nodes, mx, my, mz, mx*my*mz)
+		}
+		// Every machine cell maps to a distinct rank.
+		seen := make(map[int]bool, nodes)
+		for x := 0; x < mx; x++ {
+			for y := 0; y < my; y++ {
+				for z := 0; z < mz; z++ {
+					r := tor.RankOf(tor.machineCoord(groups, [3]int{x, y, z}))
+					if seen[r] {
+						t.Fatalf("rank %d mapped twice", r)
+					}
+					seen[r] = true
+				}
+			}
+		}
+	}
+}
+
+func TestFold3DBalanced(t *testing.T) {
+	tor := MustNew(ShapeForNodes(4096))
+	mx, my, mz, _ := tor.Fold3D()
+	max, min := mx, mx
+	for _, v := range []int{my, mz} {
+		if v > max {
+			max = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	if max > 8*min {
+		t.Fatalf("fold badly unbalanced: %dx%dx%d", mx, my, mz)
+	}
+}
+
+func TestMap3DValidRanks(t *testing.T) {
+	tor := MustNew(ShapeForNodes(64))
+	for _, dims := range [][3]int{{4, 4, 4}, {8, 8, 8}, {3, 5, 7}, {1, 1, 1}} {
+		m := tor.Map3D(dims[0], dims[1], dims[2])
+		if len(m) != dims[0]*dims[1]*dims[2] {
+			t.Fatalf("mapping length %d", len(m))
+		}
+		for _, r := range m {
+			if r < 0 || r >= tor.Nodes() {
+				t.Fatalf("rank %d out of range", r)
+			}
+		}
+	}
+}
+
+// Map3D spreads blocks across (nearly) all nodes when blocks >= nodes.
+func TestMap3DSpreads(t *testing.T) {
+	tor := MustNew(ShapeForNodes(64))
+	m := tor.Map3D(8, 8, 8)
+	used := map[int]bool{}
+	for _, r := range m {
+		used[r] = true
+	}
+	if len(used) != 64 {
+		t.Fatalf("topo map uses %d/64 nodes", len(used))
+	}
+}
+
+// The headline property: topology-aware placement puts logical neighbours
+// closer than the oblivious linear map.
+func TestTopoPlacementReducesNeighborHops(t *testing.T) {
+	for _, tc := range []struct {
+		nodes int
+		b     [3]int
+	}{
+		{512, [3]int{8, 8, 8}},
+		{4096, [3]int{16, 16, 16}},
+	} {
+		tor := MustNew(ShapeForNodes(tc.nodes))
+		topo := tor.AvgNeighborHops(tor.Map3D(tc.b[0], tc.b[1], tc.b[2]), tc.b[0], tc.b[1], tc.b[2])
+		linear := tor.AvgNeighborHops(tor.LinearMap3D(tc.b[0], tc.b[1], tc.b[2]), tc.b[0], tc.b[1], tc.b[2])
+		if topo >= linear {
+			t.Errorf("%d nodes %v blocks: topo %.2f hops >= linear %.2f", tc.nodes, tc.b, topo, linear)
+		}
+	}
+}
+
+func BenchmarkPlacementAblation(b *testing.B) {
+	tor := MustNew(ShapeForNodes(4096))
+	const bx, by, bz = 16, 16, 16
+	for _, mode := range []string{"topo", "linear"} {
+		b.Run(mode, func(b *testing.B) {
+			var hops float64
+			for i := 0; i < b.N; i++ {
+				var m []int
+				if mode == "topo" {
+					m = tor.Map3D(bx, by, bz)
+				} else {
+					m = tor.LinearMap3D(bx, by, bz)
+				}
+				hops = tor.AvgNeighborHops(m, bx, by, bz)
+			}
+			b.ReportMetric(hops, "avg-neighbor-hops")
+		})
+	}
+}
+
+func ExampleTorus_Map3D() {
+	tor := MustNew(ShapeForNodes(512))
+	topo := tor.AvgNeighborHops(tor.Map3D(8, 8, 8), 8, 8, 8)
+	linear := tor.AvgNeighborHops(tor.LinearMap3D(8, 8, 8), 8, 8, 8)
+	fmt.Println(topo < linear)
+	// Output: true
+}

@@ -1,0 +1,261 @@
+// Package torus models the Blue Gene/Q interconnect: a 5D torus where every
+// link sends and receives at 2 GB/s (1.8 GB/s effective after packet header
+// overhead), with deterministic dimension-order routing and the node-level
+// Messaging Unit (MU) that moves data between memory and the network
+// (paper §II-A).
+//
+// The model is used two ways: functionally, to route messages between
+// simulated nodes in-process, and analytically, to supply hop counts and
+// serialization delays to the discrete-event machine simulator in
+// internal/cluster.
+package torus
+
+import "fmt"
+
+// Dims is the number of torus dimensions (A,B,C,D,E on BG/Q).
+const Dims = 5
+
+// Link and packet parameters from the paper and the BG/Q network paper
+// (Chen et al., SC'11).
+const (
+	LinkBandwidth     = 2.0e9 // bytes/s raw per direction
+	EffectiveBW       = 1.8e9 // bytes/s after packet header overhead
+	PacketSize        = 512   // bytes max payload chunk per packet
+	HopLatencySeconds = 40e-9 // per-hop router latency
+	// InjectionFIFOs and ReceptionFIFOs are the MU resources that let many
+	// threads inject/receive concurrently (544/272 on the real chip).
+	InjectionFIFOs = 544
+	ReceptionFIFOs = 272
+)
+
+// Coord is a node coordinate in the 5D torus.
+type Coord [Dims]int
+
+// Shape describes the torus extents in each dimension.
+type Shape [Dims]int
+
+// Nodes returns the total node count of the shape.
+func (s Shape) Nodes() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+func (s Shape) String() string {
+	return fmt.Sprintf("%dx%dx%dx%dx%d", s[0], s[1], s[2], s[3], s[4])
+}
+
+// ShapeForNodes returns the standard BG/Q partition shape for a power-of-two
+// node count, mirroring the machine's published partition geometries (a
+// midplane is 4x4x4x4x2 = 512 nodes). For other counts it builds a balanced
+// shape by repeated doubling of the smallest dimension.
+func ShapeForNodes(n int) Shape {
+	s := Shape{1, 1, 1, 1, 2} // E dimension is always 2 on BG/Q
+	if n < 2 {
+		return Shape{1, 1, 1, 1, 1}
+	}
+	for s.Nodes() < n {
+		// Double the smallest of A..D.
+		min := 0
+		for i := 1; i < 4; i++ {
+			if s[i] < s[min] {
+				min = i
+			}
+		}
+		s[min] *= 2
+	}
+	return s
+}
+
+// Torus is a 5D torus of a given shape.
+type Torus struct {
+	shape Shape
+	// strides for rank<->coord conversion
+	stride [Dims]int
+}
+
+// New returns a torus with the given shape. All extents must be >= 1.
+func New(shape Shape) (*Torus, error) {
+	for i, d := range shape {
+		if d < 1 {
+			return nil, fmt.Errorf("torus: dimension %d has extent %d", i, d)
+		}
+	}
+	t := &Torus{shape: shape}
+	st := 1
+	for i := Dims - 1; i >= 0; i-- {
+		t.stride[i] = st
+		st *= shape[i]
+	}
+	return t, nil
+}
+
+// MustNew is New for static shapes; it panics on error.
+func MustNew(shape Shape) *Torus {
+	t, err := New(shape)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Shape returns the torus shape.
+func (t *Torus) Shape() Shape { return t.shape }
+
+// Nodes returns the number of nodes.
+func (t *Torus) Nodes() int { return t.shape.Nodes() }
+
+// RankOf converts a coordinate to a linear rank.
+func (t *Torus) RankOf(c Coord) int {
+	r := 0
+	for i := 0; i < Dims; i++ {
+		r += (c[i] % t.shape[i]) * t.stride[i]
+	}
+	return r
+}
+
+// CoordOf converts a linear rank to a coordinate.
+func (t *Torus) CoordOf(rank int) Coord {
+	var c Coord
+	for i := 0; i < Dims; i++ {
+		c[i] = (rank / t.stride[i]) % t.shape[i]
+	}
+	return c
+}
+
+// dimDist returns the minimal wraparound distance along dimension i.
+func (t *Torus) dimDist(i, a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap := t.shape[i] - d; wrap < d {
+		d = wrap
+	}
+	return d
+}
+
+// HopCount returns the minimal number of network hops between two ranks.
+func (t *Torus) HopCount(a, b int) int {
+	ca, cb := t.CoordOf(a), t.CoordOf(b)
+	h := 0
+	for i := 0; i < Dims; i++ {
+		h += t.dimDist(i, ca[i], cb[i])
+	}
+	return h
+}
+
+// MaxHops returns the torus diameter (max minimal hop count).
+func (t *Torus) MaxHops() int {
+	h := 0
+	for i := 0; i < Dims; i++ {
+		h += t.shape[i] / 2
+	}
+	return h
+}
+
+// AvgHops returns the average hop count from a node to all others, a
+// standard figure for bisection/latency estimates. For a torus each
+// dimension contributes ~extent/4.
+func (t *Torus) AvgHops() float64 {
+	total := 0.0
+	for i := 0; i < Dims; i++ {
+		e := t.shape[i]
+		sum := 0
+		for d := 0; d < e; d++ {
+			sum += t.dimDist(i, 0, d)
+		}
+		total += float64(sum) / float64(e)
+	}
+	return total
+}
+
+// Route returns the deterministic dimension-order route from a to b as a
+// sequence of intermediate coordinates (excluding a, including b). BG/Q
+// hardware routes dynamically within a minimal quadrant; dimension-order is
+// the deterministic variant and has identical hop count.
+func (t *Torus) Route(a, b int) []Coord {
+	cur := t.CoordOf(a)
+	dst := t.CoordOf(b)
+	var path []Coord
+	for dim := 0; dim < Dims; dim++ {
+		for cur[dim] != dst[dim] {
+			e := t.shape[dim]
+			fwd := (dst[dim] - cur[dim] + e) % e
+			bwd := (cur[dim] - dst[dim] + e) % e
+			if fwd <= bwd {
+				cur[dim] = (cur[dim] + 1) % e
+			} else {
+				cur[dim] = (cur[dim] - 1 + e) % e
+			}
+			path = append(path, cur)
+		}
+	}
+	return path
+}
+
+// Neighbors returns the ranks of the up-to-2*Dims torus neighbours of rank.
+// Dimensions with extent 1 contribute no neighbours; extent 2 contributes
+// one.
+func (t *Torus) Neighbors(rank int) []int {
+	c := t.CoordOf(rank)
+	seen := map[int]bool{rank: true}
+	var out []int
+	for dim := 0; dim < Dims; dim++ {
+		e := t.shape[dim]
+		for _, delta := range []int{1, e - 1} {
+			nc := c
+			nc[dim] = (c[dim] + delta) % e
+			nr := t.RankOf(nc)
+			if !seen[nr] {
+				seen[nr] = true
+				out = append(out, nr)
+			}
+		}
+	}
+	return out
+}
+
+// BisectionBandwidth returns the bandwidth in bytes/s across the smallest
+// bisection of the torus, using the effective per-link rate. For a torus
+// cut across its largest dimension, 2*(N/extent) wrap links plus the same
+// number of direct links cross the cut in each direction.
+func (t *Torus) BisectionBandwidth() float64 {
+	// Cut across the largest dimension.
+	maxDim := 0
+	for i := 1; i < Dims; i++ {
+		if t.shape[i] > t.shape[maxDim] {
+			maxDim = i
+		}
+	}
+	e := t.shape[maxDim]
+	if e < 2 {
+		return 0
+	}
+	crossSection := t.Nodes() / e
+	linksPerCut := 2 * crossSection // direct + wraparound
+	if e == 2 {
+		linksPerCut = crossSection // wrap and direct are the same link pair
+	}
+	return float64(linksPerCut) * EffectiveBW
+}
+
+// TransferTime returns the modelled time in seconds for a message of size
+// bytes to cross hops router stages: per-hop latency plus serialization of
+// the packetized payload at the effective link rate.
+func TransferTime(bytes, hops int) float64 {
+	if hops < 1 {
+		hops = 1
+	}
+	packets := (bytes + PacketSize - 1) / PacketSize
+	if packets < 1 {
+		packets = 1
+	}
+	// Store-and-forward of the first packet across the route, then
+	// pipelined streaming of the remainder (wormhole-like).
+	first := float64(hops) * HopLatencySeconds
+	stream := float64(packets*PacketSize) / EffectiveBW
+	return first + stream
+}

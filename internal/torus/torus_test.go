@@ -1,0 +1,238 @@
+package torus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeForNodes(t *testing.T) {
+	cases := []struct {
+		n     int
+		nodes int
+	}{
+		{1, 1}, {2, 2}, {64, 64}, {128, 128}, {512, 512},
+		{1024, 1024}, {4096, 4096}, {16384, 16384},
+	}
+	for _, c := range cases {
+		s := ShapeForNodes(c.n)
+		if s.Nodes() != c.nodes {
+			t.Errorf("ShapeForNodes(%d).Nodes() = %d, want %d", c.n, s.Nodes(), c.nodes)
+		}
+	}
+	// 512 nodes should be the midplane-ish 4x4x4x4x2.
+	s := ShapeForNodes(512)
+	want := 0
+	for _, d := range s {
+		if d == 4 {
+			want++
+		}
+	}
+	if s[4] != 2 || want != 4 {
+		t.Errorf("ShapeForNodes(512) = %v, want 4x4x4x4x2-like", s)
+	}
+}
+
+func TestNewRejectsBadShape(t *testing.T) {
+	if _, err := New(Shape{0, 1, 1, 1, 1}); err == nil {
+		t.Fatal("New accepted zero extent")
+	}
+}
+
+func TestRankCoordRoundTrip(t *testing.T) {
+	tor := MustNew(Shape{3, 4, 2, 5, 2})
+	for r := 0; r < tor.Nodes(); r++ {
+		c := tor.CoordOf(r)
+		if got := tor.RankOf(c); got != r {
+			t.Fatalf("rank %d -> %v -> %d", r, c, got)
+		}
+	}
+}
+
+func TestHopCountBasics(t *testing.T) {
+	tor := MustNew(Shape{4, 4, 4, 4, 2})
+	if h := tor.HopCount(0, 0); h != 0 {
+		t.Fatalf("self hop = %d", h)
+	}
+	// Neighbour in E dimension.
+	a := tor.RankOf(Coord{0, 0, 0, 0, 0})
+	b := tor.RankOf(Coord{0, 0, 0, 0, 1})
+	if h := tor.HopCount(a, b); h != 1 {
+		t.Fatalf("neighbour hop = %d", h)
+	}
+	// Wraparound: distance 3 forward but 1 backward in extent-4 dim.
+	c := tor.RankOf(Coord{3, 0, 0, 0, 0})
+	if h := tor.HopCount(a, c); h != 1 {
+		t.Fatalf("wraparound hop = %d, want 1", h)
+	}
+	if got, want := tor.MaxHops(), 2+2+2+2+1; got != want {
+		t.Fatalf("MaxHops = %d, want %d", got, want)
+	}
+}
+
+func TestQuickHopCountSymmetric(t *testing.T) {
+	tor := MustNew(Shape{4, 4, 2, 4, 2})
+	n := tor.Nodes()
+	f := func(a, b uint16) bool {
+		x, y := int(a)%n, int(b)%n
+		return tor.HopCount(x, y) == tor.HopCount(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	tor := MustNew(Shape{4, 2, 4, 2, 2})
+	n := tor.Nodes()
+	f := func(a, b, c uint16) bool {
+		x, y, z := int(a)%n, int(b)%n, int(c)%n
+		return tor.HopCount(x, z) <= tor.HopCount(x, y)+tor.HopCount(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The deterministic route must be minimal: length == HopCount, each step a
+// single-dimension unit move, ending at the destination.
+func TestQuickRouteMinimal(t *testing.T) {
+	tor := MustNew(Shape{4, 4, 2, 2, 2})
+	n := tor.Nodes()
+	f := func(a, b uint16) bool {
+		x, y := int(a)%n, int(b)%n
+		path := tor.Route(x, y)
+		if len(path) != tor.HopCount(x, y) {
+			return false
+		}
+		cur := tor.CoordOf(x)
+		for _, step := range path {
+			diff := 0
+			for d := 0; d < Dims; d++ {
+				diff += tor.dimDist(d, cur[d], step[d])
+			}
+			if diff != 1 {
+				return false
+			}
+			cur = step
+		}
+		return tor.RankOf(cur) == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsCount(t *testing.T) {
+	tor := MustNew(Shape{4, 4, 4, 4, 2})
+	nb := tor.Neighbors(0)
+	// 4 dims with extent 4 give 2 each; extent-2 dim gives 1.
+	if len(nb) != 9 {
+		t.Fatalf("got %d neighbours, want 9: %v", len(nb), nb)
+	}
+	for _, r := range nb {
+		if tor.HopCount(0, r) != 1 {
+			t.Fatalf("neighbour %d at hop distance %d", r, tor.HopCount(0, r))
+		}
+	}
+}
+
+func TestAvgHopsReasonable(t *testing.T) {
+	tor := MustNew(Shape{4, 4, 4, 4, 2})
+	avg := tor.AvgHops()
+	if avg <= 0 || avg > float64(tor.MaxHops()) {
+		t.Fatalf("AvgHops = %v outside (0, %d]", avg, tor.MaxHops())
+	}
+}
+
+func TestBisectionBandwidthGrowsWithMachine(t *testing.T) {
+	small := MustNew(ShapeForNodes(512))
+	big := MustNew(ShapeForNodes(4096))
+	if small.BisectionBandwidth() >= big.BisectionBandwidth() {
+		t.Fatalf("bisection: 512 nodes %v >= 4096 nodes %v",
+			small.BisectionBandwidth(), big.BisectionBandwidth())
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	if TransferTime(32, 1) >= TransferTime(32, 10) {
+		t.Fatal("more hops should cost more")
+	}
+	if TransferTime(512, 3) >= TransferTime(1<<20, 3) {
+		t.Fatal("more bytes should cost more")
+	}
+	// Large transfers approach the effective bandwidth.
+	tt := TransferTime(1<<24, 5)
+	ideal := float64(1<<24) / EffectiveBW
+	if tt < ideal || tt > ideal*1.1 {
+		t.Fatalf("16MB transfer time %v not within 10%% of BW bound %v", tt, ideal)
+	}
+}
+
+func TestMUInjectPoll(t *testing.T) {
+	tor := MustNew(Shape{2, 2, 1, 1, 1})
+	net := NewNetwork(tor, 2)
+	src := net.MU(0)
+	if err := src.Inject(Packet{Type: MemoryFIFO, Dst: 3, Bytes: 100, FIFO: 1, Payload: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	dst := net.MU(3)
+	if !dst.Pending() {
+		t.Fatal("no pending packet at destination")
+	}
+	p, ok := dst.Poll(1)
+	if !ok || p.Payload.(string) != "hello" || p.Src != 0 {
+		t.Fatalf("Poll = %+v ok=%v", p, ok)
+	}
+	if _, ok := dst.Poll(1); ok {
+		t.Fatal("second poll returned a packet")
+	}
+	inj, _ := src.Counters()
+	_, rcv := dst.Counters()
+	if inj != 1 || rcv != 1 {
+		t.Fatalf("counters inj=%d rcv=%d", inj, rcv)
+	}
+}
+
+func TestMUArrivalHook(t *testing.T) {
+	tor := MustNew(Shape{2, 1, 1, 1, 1})
+	net := NewNetwork(tor, 1)
+	fired := 0
+	net.MU(1).SetArrivalHook(0, func() { fired++ })
+	for i := 0; i < 3; i++ {
+		if err := net.MU(0).Inject(Packet{Dst: 1, Bytes: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("hook fired %d times, want 3", fired)
+	}
+}
+
+func TestMUInjectBadRank(t *testing.T) {
+	net := NewNetwork(MustNew(Shape{2, 1, 1, 1, 1}), 1)
+	if err := net.MU(0).Inject(Packet{Dst: 99}); err == nil {
+		t.Fatal("Inject accepted out-of-range destination")
+	}
+}
+
+func BenchmarkHopCount(b *testing.B) {
+	tor := MustNew(ShapeForNodes(4096))
+	n := tor.Nodes()
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += tor.HopCount(i%n, (i*7)%n)
+	}
+	_ = s
+}
+
+func BenchmarkMUInject(b *testing.B) {
+	net := NewNetwork(MustNew(ShapeForNodes(64)), 4)
+	mu0 := net.MU(0)
+	dst := net.MU(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mu0.Inject(Packet{Dst: 1, Bytes: 64})
+		dst.Poll(0)
+	}
+}

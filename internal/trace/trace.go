@@ -1,0 +1,251 @@
+// Package trace records per-thread activity timelines in virtual time and
+// renders the paper's Projections-style charts: timelines of thread
+// activity (Fig. 3) and binned time profiles of CPU utilization
+// (Figs. 9, 10).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category labels one kind of activity, matching the colors in the paper's
+// Projections screenshots.
+type Category int
+
+const (
+	// Idle is uncoloured (white) time.
+	Idle Category = iota
+	// Integration is atom velocity/position update work (red).
+	Integration
+	// Nonbonded is cutoff pair computation (purple).
+	Nonbonded
+	// PME is reciprocal-space work incl. FFTs (green).
+	PME
+	// Comm is message send/receive processing.
+	Comm
+	// Bonded is bond/angle computation.
+	Bonded
+	numCategories
+)
+
+// String returns the category name.
+func (c Category) String() string {
+	switch c {
+	case Idle:
+		return "idle"
+	case Integration:
+		return "integration"
+	case Nonbonded:
+		return "nonbonded"
+	case PME:
+		return "pme"
+	case Comm:
+		return "comm"
+	case Bonded:
+		return "bonded"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Interval is one busy span on a thread.
+type Interval struct {
+	Start, End float64
+	Cat        Category
+}
+
+// Timeline collects intervals for a set of threads.
+type Timeline struct {
+	threads   int
+	intervals [][]Interval
+}
+
+// New returns a timeline for the given thread count.
+func New(threads int) *Timeline {
+	return &Timeline{threads: threads, intervals: make([][]Interval, threads)}
+}
+
+// Threads returns the number of threads.
+func (t *Timeline) Threads() int { return t.threads }
+
+// Add records a busy interval; Idle spans are implicit.
+func (t *Timeline) Add(thread int, start, end float64, cat Category) {
+	if end <= start || cat == Idle {
+		return
+	}
+	t.intervals[thread] = append(t.intervals[thread], Interval{Start: start, End: end, Cat: cat})
+}
+
+// Span returns the [min start, max end] across all intervals.
+func (t *Timeline) Span() (float64, float64) {
+	lo, hi := 0.0, 0.0
+	first := true
+	for _, iv := range t.intervals {
+		for _, i := range iv {
+			if first || i.Start < lo {
+				lo = i.Start
+			}
+			if first || i.End > hi {
+				hi = i.End
+			}
+			first = false
+		}
+	}
+	return lo, hi
+}
+
+// Utilization returns, per category, the fraction of total thread-time in
+// [start, end) spent in that category. Index 0 (Idle) is the remainder.
+func (t *Timeline) Utilization(start, end float64) []float64 {
+	out := make([]float64, numCategories)
+	if end <= start || t.threads == 0 {
+		return out
+	}
+	total := (end - start) * float64(t.threads)
+	busy := 0.0
+	for _, iv := range t.intervals {
+		for _, i := range iv {
+			lo, hi := max64(i.Start, start), min64(i.End, end)
+			if hi > lo {
+				out[i.Cat] += (hi - lo) / total
+				busy += (hi - lo) / total
+			}
+		}
+	}
+	out[Idle] = 1 - busy
+	if out[Idle] < 0 {
+		out[Idle] = 0
+	}
+	return out
+}
+
+// Profile bins [start, end) into bins windows and returns per-bin
+// per-category utilization: result[bin][cat].
+func (t *Timeline) Profile(bins int, start, end float64) [][]float64 {
+	out := make([][]float64, bins)
+	w := (end - start) / float64(bins)
+	for b := 0; b < bins; b++ {
+		out[b] = t.Utilization(start+float64(b)*w, start+float64(b+1)*w)
+	}
+	return out
+}
+
+// Peaks counts utilization peaks in the profile: maximal runs of bins whose
+// busy fraction exceeds threshold. The paper counts timesteps in a 15 ms
+// window this way (Figs. 9, 10).
+func Peaks(profile [][]float64, threshold float64) int {
+	peaks := 0
+	inPeak := false
+	for _, bin := range profile {
+		busy := 1 - bin[Idle]
+		if busy >= threshold {
+			if !inPeak {
+				peaks++
+				inPeak = true
+			}
+		} else {
+			inPeak = false
+		}
+	}
+	return peaks
+}
+
+// RenderProfile draws the binned utilization as rows of percent-busy with a
+// bar per bin, one line per sample stride, plus a category legend —
+// a terminal rendition of the paper's time-profile charts.
+func (t *Timeline) RenderProfile(bins int, start, end float64) string {
+	prof := t.Profile(bins, start, end)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time profile %.3fms..%.3fms (%d bins)\n", start*1e3, end*1e3, bins)
+	const height = 10
+	for row := height; row >= 1; row-- {
+		level := float64(row) / height
+		sb.WriteString(fmt.Sprintf("%3.0f%% |", level*100))
+		for _, bin := range prof {
+			busy := 1 - bin[Idle]
+			if busy >= level-1e-12 {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("     +" + strings.Repeat("-", bins) + "\n")
+	u := t.Utilization(start, end)
+	sb.WriteString("avg utilization: ")
+	parts := make([]string, 0, int(numCategories))
+	for c := Category(0); c < numCategories; c++ {
+		if u[c] > 0.0005 {
+			parts = append(parts, fmt.Sprintf("%s %.1f%%", c, u[c]*100))
+		}
+	}
+	sb.WriteString(strings.Join(parts, ", "))
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// RenderTimeline draws one row per thread with a letter per time bin for
+// the dominant category (Fig. 3 style). Threads are truncated to maxRows.
+func (t *Timeline) RenderTimeline(bins, maxRows int, start, end float64) string {
+	letters := map[Category]byte{
+		Idle: '.', Integration: 'I', Nonbonded: 'N', PME: 'P', Comm: 'C', Bonded: 'B',
+	}
+	var sb strings.Builder
+	w := (end - start) / float64(bins)
+	rows := t.threads
+	if rows > maxRows {
+		rows = maxRows
+	}
+	for th := 0; th < rows; th++ {
+		fmt.Fprintf(&sb, "t%02d |", th)
+		ivs := t.intervals[th]
+		for b := 0; b < bins; b++ {
+			lo := start + float64(b)*w
+			hi := lo + w
+			var best Category
+			bestTime := 0.0
+			for _, i := range ivs {
+				l, h := max64(i.Start, lo), min64(i.End, hi)
+				if h > l {
+					// accumulate per category; cheap linear scan since
+					// interval counts per thread are modest
+					if h-l > bestTime {
+						bestTime = h - l
+						best = i.Cat
+					}
+				}
+			}
+			if bestTime < (hi-lo)/4 {
+				best = Idle
+			}
+			sb.WriteByte(letters[best])
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("legend: I=integration N=nonbonded P=pme C=comm B=bonded .=idle\n")
+	return sb.String()
+}
+
+// SortIntervals orders each thread's intervals by start time (builders may
+// append out of order).
+func (t *Timeline) SortIntervals() {
+	for _, iv := range t.intervals {
+		sort.Slice(iv, func(a, b int) bool { return iv[a].Start < iv[b].Start })
+	}
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestUtilizationBasic(t *testing.T) {
+	tl := New(2)
+	tl.Add(0, 0, 1, Nonbonded) // thread 0 busy whole second
+	tl.Add(1, 0, 0.5, PME)     // thread 1 busy half
+	u := tl.Utilization(0, 1)
+	if u[Nonbonded] != 0.5 || u[PME] != 0.25 {
+		t.Fatalf("utilization %v", u)
+	}
+	if u[Idle] != 0.25 {
+		t.Fatalf("idle = %v", u[Idle])
+	}
+}
+
+func TestUtilizationClipsToWindow(t *testing.T) {
+	tl := New(1)
+	tl.Add(0, 0, 10, Comm)
+	u := tl.Utilization(4, 6)
+	if u[Comm] != 1 || u[Idle] != 0 {
+		t.Fatalf("clipped utilization %v", u)
+	}
+}
+
+func TestAddIgnoresDegenerate(t *testing.T) {
+	tl := New(1)
+	tl.Add(0, 5, 5, PME)
+	tl.Add(0, 6, 4, PME)
+	tl.Add(0, 0, 1, Idle)
+	if lo, hi := tl.Span(); lo != 0 || hi != 0 {
+		t.Fatalf("span (%v,%v) after degenerate adds", lo, hi)
+	}
+}
+
+func TestProfileAndPeaks(t *testing.T) {
+	tl := New(1)
+	// Three busy pulses separated by idle gaps.
+	for i := 0; i < 3; i++ {
+		s := float64(i) * 10
+		tl.Add(0, s, s+4, Integration)
+	}
+	prof := tl.Profile(30, 0, 30)
+	if got := Peaks(prof, 0.5); got != 3 {
+		t.Fatalf("peaks = %d, want 3", got)
+	}
+}
+
+func TestPeaksThreshold(t *testing.T) {
+	tl := New(2)
+	tl.Add(0, 0, 10, Comm) // only half the threads busy
+	prof := tl.Profile(10, 0, 10)
+	if got := Peaks(prof, 0.9); got != 0 {
+		t.Fatalf("peaks above 90%% = %d, want 0", got)
+	}
+	if got := Peaks(prof, 0.4); got != 1 {
+		t.Fatalf("peaks above 40%% = %d, want 1", got)
+	}
+}
+
+func TestRenderOutputsContainLegend(t *testing.T) {
+	tl := New(4)
+	tl.Add(0, 0, 1, Nonbonded)
+	tl.Add(1, 0.2, 0.6, PME)
+	out := tl.RenderProfile(20, 0, 1)
+	if !strings.Contains(out, "avg utilization") || !strings.Contains(out, "nonbonded") {
+		t.Fatalf("profile render missing content:\n%s", out)
+	}
+	tlOut := tl.RenderTimeline(20, 8, 0, 1)
+	if !strings.Contains(tlOut, "legend") || !strings.Contains(tlOut, "t00") {
+		t.Fatalf("timeline render missing content:\n%s", tlOut)
+	}
+}
+
+// Property: utilization fractions are within [0,1] and sum to 1.
+func TestQuickUtilizationNormalized(t *testing.T) {
+	f := func(spans []uint8) bool {
+		tl := New(3)
+		for i, s := range spans {
+			start := float64(s % 50)
+			tl.Add(i%3, start, start+float64(s%7)+0.5, Category(1+int(s)%5))
+		}
+		u := tl.Utilization(0, 60)
+		sum := 0.0
+		for _, v := range u {
+			if v < -1e-9 || v > 1+1e-9 {
+				return false
+			}
+			sum += v
+		}
+		// Overlapping intervals can push busy beyond 1 before clamping, so
+		// only check the no-overlap-free lower bound loosely.
+		return sum >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

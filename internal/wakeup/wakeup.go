@@ -1,0 +1,96 @@
+// Package wakeup simulates the Blue Gene/Q wakeup unit.
+//
+// On BG/Q a hardware thread can execute the PowerPC wait instruction and
+// stop consuming core resources (pipeline slots, load/store ports). The
+// per-core wakeup unit can be programmed to watch a range of memory
+// addresses and network events (packet arrivals); when a watched event
+// fires it delivers a low-overhead interrupt that resumes the waiting
+// thread. PAMI communication threads use this to sleep when idle and wake
+// instantly on new work (paper §II, §III-C).
+//
+// Here a "hardware thread" is a goroutine; Wait parks it on a condition
+// variable and watched events signal it. The semantics preserved are the
+// ones the runtime depends on: (1) a thread in Wait consumes no CPU,
+// (2) an event arriving before Wait is not lost (the unit latches), and
+// (3) any of several watch sources can wake the thread.
+package wakeup
+
+import "sync"
+
+// Unit is one wakeup unit, servicing one waiting thread (as on hardware,
+// where each hardware thread has its own WAC registers).
+type Unit struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	latched bool
+	waiting bool
+	wakes   uint64
+	closed  bool
+}
+
+// NewUnit returns an armed wakeup unit with no pending events.
+func NewUnit() *Unit {
+	u := &Unit{}
+	u.cond = sync.NewCond(&u.mu)
+	return u
+}
+
+// Signal delivers a wakeup event: a watched store, a packet arrival, or a
+// posted work item. If the owning thread is in Wait it resumes; otherwise
+// the event is latched so the next Wait returns immediately. Safe for
+// concurrent use.
+func (u *Unit) Signal() {
+	u.mu.Lock()
+	u.latched = true
+	u.mu.Unlock()
+	u.cond.Signal()
+}
+
+// Wait blocks until an event has been signalled since the last Wait
+// returned, consuming no CPU while blocked — the wait instruction. It
+// returns immediately if an event is already latched. It returns false if
+// the unit has been closed.
+func (u *Unit) Wait() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for !u.latched && !u.closed {
+		u.waiting = true
+		u.cond.Wait()
+		u.waiting = false
+	}
+	if u.closed && !u.latched {
+		return false
+	}
+	u.latched = false
+	u.wakes++
+	return true
+}
+
+// Close releases any waiter and makes all future Waits return false.
+// Used for orderly shutdown of communication threads.
+func (u *Unit) Close() {
+	u.mu.Lock()
+	u.closed = true
+	u.mu.Unlock()
+	u.cond.Broadcast()
+}
+
+// Wakes returns the number of times Wait has returned true; tests use it to
+// verify that idle comm threads actually sleep rather than spin.
+func (u *Unit) Wakes() uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.wakes
+}
+
+// Waiting reports whether the owner thread is currently parked in Wait.
+func (u *Unit) Waiting() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.waiting
+}
+
+// Watch is a convenience that couples a Unit to several event sources: it
+// returns a function suitable for registering as a callback on queues or
+// network FIFOs. Every invocation signals the unit.
+func (u *Unit) Watch() func() { return u.Signal }

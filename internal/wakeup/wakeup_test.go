@@ -1,0 +1,162 @@
+package wakeup
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSignalBeforeWaitIsLatched(t *testing.T) {
+	u := NewUnit()
+	u.Signal()
+	done := make(chan struct{})
+	go func() {
+		if !u.Wait() {
+			t.Error("Wait returned false")
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("latched event was lost")
+	}
+}
+
+func TestWaitBlocksUntilSignal(t *testing.T) {
+	u := NewUnit()
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(started)
+		u.Wait()
+		close(done)
+	}()
+	<-started
+	// Give the waiter time to park.
+	for i := 0; i < 100 && !u.Waiting(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("Wait returned without a signal")
+	default:
+	}
+	u.Signal()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("signal did not wake waiter")
+	}
+}
+
+func TestMultipleSignalsCoalesce(t *testing.T) {
+	u := NewUnit()
+	u.Signal()
+	u.Signal()
+	u.Signal()
+	if !u.Wait() {
+		t.Fatal("first Wait failed")
+	}
+	// All three signals coalesced into one latched event; the next Wait
+	// must block.
+	woke := make(chan struct{})
+	go func() {
+		u.Wait()
+		close(woke)
+	}()
+	select {
+	case <-woke:
+		t.Fatal("coalesced signals woke Wait twice")
+	case <-time.After(50 * time.Millisecond):
+	}
+	u.Signal() // release the goroutine
+	<-woke
+}
+
+func TestCloseReleasesWaiter(t *testing.T) {
+	u := NewUnit()
+	done := make(chan bool, 1)
+	go func() { done <- u.Wait() }()
+	for i := 0; i < 100 && !u.Waiting(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	u.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Wait returned true after Close with no event")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release waiter")
+	}
+	if u.Wait() {
+		t.Fatal("Wait after Close returned true")
+	}
+}
+
+func TestWakesCount(t *testing.T) {
+	u := NewUnit()
+	for i := 0; i < 5; i++ {
+		u.Signal()
+		u.Wait()
+	}
+	if got := u.Wakes(); got != 5 {
+		t.Fatalf("Wakes = %d, want 5", got)
+	}
+}
+
+// A comm-thread-shaped loop: producer posts N work items, consumer sleeps
+// between bursts; every item must be observed.
+func TestProducerConsumerNoLostWakeups(t *testing.T) {
+	u := NewUnit()
+	const items = 10000
+	var mu sync.Mutex
+	queue := 0
+	consumed := 0
+	done := make(chan struct{})
+	go func() { // consumer
+		defer close(done)
+		for consumed < items {
+			mu.Lock()
+			n := queue
+			queue = 0
+			mu.Unlock()
+			consumed += n
+			if consumed >= items {
+				return
+			}
+			if n == 0 {
+				u.Wait()
+			}
+		}
+	}()
+	for i := 0; i < items; i++ { // producer
+		mu.Lock()
+		queue++
+		mu.Unlock()
+		u.Signal()
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("consumer stalled; a wakeup was lost (consumed=%d)", consumed)
+	}
+}
+
+func BenchmarkSignalWaitRoundTrip(b *testing.B) {
+	u := NewUnit()
+	go func() {
+		for {
+			if !u.Wait() {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Signal()
+	}
+	b.StopTimer()
+	u.Close()
+}
