@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing event counter sharded across padded
+// atomic cells. Callers pass a shard key (PE id, thread id, queue id); keys
+// are masked into the shard array, so any non-negative int is valid.
+type Counter struct {
+	desc  Desc
+	mask  uint64
+	cells []cell
+}
+
+// NewCounter creates a counter with the given shard count (rounded up to a
+// power of two; <=0 selects DefaultShards) and registers it in Default.
+func NewCounter(subsystem, name string, shards int) *Counter {
+	c := newCounter(subsystem, name, shards)
+	Default.Register(c)
+	return c
+}
+
+func newCounter(subsystem, name string, shards int) *Counter {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	mask := shardMask(shards)
+	return &Counter{
+		desc:  Desc{Subsystem: subsystem, Name: name},
+		mask:  mask,
+		cells: make([]cell, mask+1),
+	}
+}
+
+// Inc adds one to the shard selected by key.
+func (c *Counter) Inc(key int) { c.cells[uint64(key)&c.mask].v.Add(1) }
+
+// Add adds delta to the shard selected by key.
+func (c *Counter) Add(key int, delta int64) { c.cells[uint64(key)&c.mask].v.Add(delta) }
+
+// Value returns the sum over all shards.
+func (c *Counter) Value() int64 {
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].v.Load()
+	}
+	return sum
+}
+
+// Shards returns a copy of the per-shard values (index = key & mask).
+func (c *Counter) Shards() []int64 {
+	out := make([]int64, len(c.cells))
+	for i := range c.cells {
+		out[i] = c.cells[i].v.Load()
+	}
+	return out
+}
+
+// Desc returns the metric identity.
+func (c *Counter) Desc() Desc { return c.desc }
+
+// Reset zeroes every shard.
+func (c *Counter) Reset() {
+	for i := range c.cells {
+		c.cells[i].v.Store(0)
+	}
+}
+
+func (c *Counter) snapshot(withShards bool) MetricSnapshot {
+	ms := MetricSnapshot{
+		Subsystem: c.desc.Subsystem,
+		Name:      c.desc.Name,
+		Kind:      KindCounter,
+		Value:     c.Value(),
+	}
+	if withShards {
+		ms.Shards = c.Shards()
+	}
+	return ms
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a single atomic value with set and monotonic-max semantics. The
+// max form records high-water marks (queue depth, pool occupancy) without a
+// lock: SetMax is a CAS loop that only spins when a new maximum races with
+// another, which on a high-water path is rare by construction.
+type Gauge struct {
+	desc Desc
+	v    atomic.Int64
+}
+
+// NewGauge creates a gauge and registers it in Default.
+func NewGauge(subsystem, name string) *Gauge {
+	g := &Gauge{desc: Desc{Subsystem: subsystem, Name: name}}
+	Default.Register(g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax raises the gauge to v if v exceeds the current value.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Desc returns the metric identity.
+func (g *Gauge) Desc() Desc { return g.desc }
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() { g.v.Store(0) }
+
+func (g *Gauge) snapshot(bool) MetricSnapshot {
+	return MetricSnapshot{
+		Subsystem: g.desc.Subsystem,
+		Name:      g.desc.Name,
+		Kind:      KindGauge,
+		Value:     g.Value(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// histBuckets is the number of log2 buckets. Bucket i counts observations v
+// with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i; bucket 0 counts v <= 0.
+// 48 buckets span 1 ns to ~78 hours when observations are nanoseconds;
+// larger values clamp into the last bucket.
+const histBuckets = 48
+
+// Histogram is a log-scale (power-of-two bucket) histogram, sharded like
+// Counter so concurrent observers on different PEs do not contend. Observe
+// is two atomic adds (bucket, sum) on the caller's shard — no locks, no
+// allocation, no floating point.
+type Histogram struct {
+	desc  Desc
+	mask  uint64
+	cells []histShard
+}
+
+type histShard struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	_       [cacheLine - 8]byte
+}
+
+// NewHistogram creates a histogram with the given shard count (<=0 selects
+// DefaultShards) and registers it in Default.
+func NewHistogram(subsystem, name string, shards int) *Histogram {
+	h := newHistogram(subsystem, name, shards)
+	Default.Register(h)
+	return h
+}
+
+func newHistogram(subsystem, name string, shards int) *Histogram {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	mask := shardMask(shards)
+	return &Histogram{
+		desc:  Desc{Subsystem: subsystem, Name: name},
+		mask:  mask,
+		cells: make([]histShard, mask+1),
+	}
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (math.MaxInt64
+// for the final clamp bucket), for rendering snapshots.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Observe records v (typically nanoseconds) on the shard selected by key.
+func (h *Histogram) Observe(key int, v int64) {
+	s := &h.cells[uint64(key)&h.mask]
+	s.buckets[bucketOf(v)].Add(1)
+	s.sum.Add(v)
+}
+
+// Count returns the total number of observations across shards.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.cells {
+		for b := 0; b < histBuckets; b++ {
+			n += h.cells[i].buckets[b].Load()
+		}
+	}
+	return n
+}
+
+// Sum returns the sum of all observations across shards.
+func (h *Histogram) Sum() int64 {
+	var sum int64
+	for i := range h.cells {
+		sum += h.cells[i].sum.Load()
+	}
+	return sum
+}
+
+// Buckets returns the aggregated per-bucket counts.
+func (h *Histogram) Buckets() [histBuckets]int64 {
+	var out [histBuckets]int64
+	for i := range h.cells {
+		for b := 0; b < histBuckets; b++ {
+			out[b] += h.cells[i].buckets[b].Load()
+		}
+	}
+	return out
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed distribution: the upper edge of the bucket containing that rank.
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	buckets := h.Buckets()
+	var total int64
+	for _, n := range buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range buckets {
+		seen += n
+		if seen >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(histBuckets - 1)
+}
+
+// Desc returns the metric identity.
+func (h *Histogram) Desc() Desc { return h.desc }
+
+// Reset zeroes every shard.
+func (h *Histogram) Reset() {
+	for i := range h.cells {
+		for b := 0; b < histBuckets; b++ {
+			h.cells[i].buckets[b].Store(0)
+		}
+		h.cells[i].sum.Store(0)
+	}
+}
+
+func (h *Histogram) snapshot(bool) MetricSnapshot {
+	buckets := h.Buckets()
+	ms := MetricSnapshot{
+		Subsystem: h.desc.Subsystem,
+		Name:      h.desc.Name,
+		Kind:      KindHistogram,
+		Sum:       h.Sum(),
+	}
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		ms.Count += n
+		ms.Buckets = append(ms.Buckets, BucketSnapshot{Le: BucketUpper(i), Count: n})
+	}
+	return ms
+}

@@ -1,0 +1,75 @@
+// Package obs is the runtime-wide observability layer: a low-overhead,
+// allocation-free metrics subsystem for the hot paths the paper measures —
+// queue contention (§III-A), allocator hit rates (§III-B), message latency
+// and scheduler utilization (§III-C/D).
+//
+// Design constraints, in order:
+//
+//  1. The disabled path costs one predicated atomic load per call site.
+//     Instrumented code guards every metric update with obs.On(); metric
+//     values are package-level vars created at init, so the hot path never
+//     touches a map, a lock, or the allocator.
+//  2. The enabled path is a single atomic add on a cache-line-padded shard.
+//     Counters and histograms are sharded by a small key — a PE id, a
+//     thread id, or a queue id — so concurrent producers on different PEs
+//     do not bounce a shared cache line, mirroring how the paper's L2
+//     counters keep per-core traffic local.
+//  3. Snapshots are deterministic: metrics are reported sorted by
+//     (subsystem, name) regardless of registration or update order, so CI
+//     can diff exported JSON/CSV across runs.
+//
+// Metrics register themselves in the Default registry at creation;
+// cmd/obsdump, cmd/experiments and the root benchmark harness export
+// snapshots from it (JSON sidecars, CSV, expvar).
+package obs
+
+import "sync/atomic"
+
+// DefaultShards is the shard count used by the package-level metric
+// constructors: a power of two comfortably above the worker-PE counts the
+// native runtime is driven at, so distinct PEs almost always land on
+// distinct cache lines.
+const DefaultShards = 64
+
+// enabled is the global instrumentation switch. Off by default: the seed
+// benchmarks must measure the uninstrumented cost of the hot paths.
+var enabled atomic.Bool
+
+// On reports whether instrumentation is enabled. This is the one atomic
+// load every instrumented hot path pays when metrics are off.
+func On() bool { return enabled.Load() }
+
+// SetEnabled switches instrumentation on or off at runtime. Metric values
+// accumulated while enabled remain readable after disabling.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Desc identifies a metric: the subsystem that owns it (package name by
+// convention: "lockless", "mempool", "converse", "charm", "wakeup") and a
+// snake_case metric name unique within the subsystem.
+type Desc struct {
+	Subsystem string
+	Name      string
+}
+
+// cacheLine is the assumed cache line size for shard padding. 64 bytes
+// covers x86-64 and the A2 cores the paper targets; padding to a multiple
+// of the true line size only wastes a little memory if it is smaller.
+const cacheLine = 64
+
+// cell is one padded counter shard. The padding keeps concurrent Add calls
+// from different shards off each other's cache lines (the same reason the
+// paper gives each thread its own L2 counter).
+type cell struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// shardMask returns the index mask for a shard count rounded up to a power
+// of two (minimum 1).
+func shardMask(shards int) uint64 {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return uint64(n - 1)
+}

@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentHammer(t *testing.T) {
+	c := newCounter("test", "hammer", 8)
+	const goroutines = 32
+	const perG = 10000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc(g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("Value = %d, want %d", got, goroutines*perG)
+	}
+	var shardSum int64
+	for _, v := range c.Shards() {
+		shardSum += v
+	}
+	if shardSum != goroutines*perG {
+		t.Fatalf("shard sum = %d, want %d", shardSum, goroutines*perG)
+	}
+}
+
+func TestCounterShardMasking(t *testing.T) {
+	c := newCounter("test", "mask", 4)
+	// Keys far beyond the shard count must mask, not panic.
+	c.Inc(0)
+	c.Inc(3)
+	c.Inc(4) // wraps onto shard 0
+	c.Inc(1 << 30)
+	if got := c.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+}
+
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	g := &Gauge{desc: Desc{Subsystem: "test", Name: "gauge"}}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for k := 0; k < goroutines; k++ {
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				g.SetMax(int64(k*5000 + i))
+			}
+		}(k)
+	}
+	wg.Wait()
+	want := int64(goroutines*5000 - 1)
+	if got := g.Value(); got != want {
+		t.Fatalf("SetMax high water = %d, want %d", got, want)
+	}
+	g.SetMax(want - 10)
+	if got := g.Value(); got != want {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+}
+
+func TestHistogramConcurrentHammer(t *testing.T) {
+	h := newHistogram("test", "hist", 8)
+	const goroutines = 16
+	const perG = 5000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(g, int64(i%1000)+1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", got, goroutines*perG)
+	}
+	var wantSum int64
+	for i := 0; i < perG; i++ {
+		wantSum += int64(i%1000) + 1
+	}
+	wantSum *= goroutines
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("Sum = %d, want %d", got, wantSum)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram("test", "buckets", 1)
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11},
+		{math.MaxInt64, histBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.v); got != tc.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.bucket)
+		}
+		h.Observe(0, tc.v)
+	}
+	if got := h.Count(); got != int64(len(cases)) {
+		t.Fatalf("Count = %d, want %d", got, len(cases))
+	}
+	// Bucket upper bounds are inclusive: a value must not exceed its
+	// bucket's bound.
+	for i := 1; i < histBuckets-1; i++ {
+		if upper := BucketUpper(i); bucketOf(upper) != i || bucketOf(upper+1) != i+1 {
+			t.Errorf("BucketUpper(%d) = %d is not the inclusive edge", i, upper)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram("test", "quantile", 1)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
+	}
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(0, i)
+	}
+	// The true p50 is 500; the log-bucket upper bound containing rank 500
+	// is 511 (bucket 9 covers 256..511).
+	if got := h.Quantile(0.5); got != 511 {
+		t.Fatalf("Quantile(0.5) = %d, want 511", got)
+	}
+	if got := h.Quantile(1.0); got != 1023 {
+		t.Fatalf("Quantile(1.0) = %d, want 1023", got)
+	}
+}
+
+// registryForTest builds a registry with a fixed metric population,
+// registered in a deliberately unsorted order.
+func registryForTest() *Registry {
+	r := NewRegistry()
+	h := newHistogram("zeta", "latency_ns", 4)
+	h.Observe(0, 100)
+	h.Observe(1, 3000)
+	r.Register(h)
+	c2 := newCounter("alpha", "b_total", 4)
+	c2.Add(1, 7)
+	r.Register(c2)
+	c1 := newCounter("alpha", "a_total", 4)
+	c1.Add(0, 42)
+	r.Register(c1)
+	g := &Gauge{desc: Desc{Subsystem: "mid", Name: "depth"}}
+	g.Set(9)
+	r.Register(g)
+	zero := newCounter("alpha", "zero_total", 4)
+	r.Register(zero)
+	return r
+}
+
+func TestSnapshotDeterministicAndSorted(t *testing.T) {
+	r := registryForTest()
+	var first, second bytes.Buffer
+	if err := r.WriteJSON(&first, SnapshotOptions{WithShards: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&second, SnapshotOptions{WithShards: true}); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("snapshots differ between calls:\n%s\n---\n%s", first.String(), second.String())
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(first.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{"alpha/a_total", "alpha/b_total", "alpha/zero_total", "mid/depth", "zeta/latency_ns"}
+	if len(snap.Metrics) != len(wantOrder) {
+		t.Fatalf("snapshot has %d metrics, want %d", len(snap.Metrics), len(wantOrder))
+	}
+	for i, ms := range snap.Metrics {
+		if got := ms.Subsystem + "/" + ms.Name; got != wantOrder[i] {
+			t.Errorf("metric %d = %s, want %s", i, got, wantOrder[i])
+		}
+	}
+	if snap.Metrics[0].Value != 42 || snap.Metrics[1].Value != 7 {
+		t.Errorf("counter values %d, %d; want 42, 7", snap.Metrics[0].Value, snap.Metrics[1].Value)
+	}
+	hist := snap.Metrics[4]
+	if hist.Count != 2 || hist.Sum != 3100 || len(hist.Buckets) != 2 {
+		t.Errorf("histogram snapshot = %+v", hist)
+	}
+}
+
+func TestSnapshotSkipZero(t *testing.T) {
+	r := registryForTest()
+	snap := r.Snapshot(SnapshotOptions{SkipZero: true})
+	for _, ms := range snap.Metrics {
+		if ms.Name == "zero_total" {
+			t.Fatalf("SkipZero kept empty metric %+v", ms)
+		}
+	}
+	if len(snap.Metrics) != 4 {
+		t.Fatalf("got %d metrics, want 4", len(snap.Metrics))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := registryForTest()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf, SnapshotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "subsystem,name,kind,field,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "alpha,a_total,counter,value,42" {
+		t.Fatalf("first row = %q", lines[1])
+	}
+	var histRows int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "zeta,latency_ns,") {
+			histRows++
+		}
+	}
+	if histRows != 4 { // count, sum, two buckets
+		t.Fatalf("histogram rows = %d, want 4\n%s", histRows, buf.String())
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := registryForTest()
+	r.Reset()
+	for _, ms := range r.Snapshot(SnapshotOptions{}).Metrics {
+		if ms.Value != 0 || ms.Count != 0 || ms.Sum != 0 || len(ms.Buckets) != 0 {
+			t.Fatalf("metric %s/%s not reset: %+v", ms.Subsystem, ms.Name, ms)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register(newCounter("dup", "metric", 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	r.Register(newCounter("dup", "metric", 1))
+}
+
+func TestEnabledFlag(t *testing.T) {
+	if On() {
+		t.Fatal("obs must start disabled")
+	}
+	SetEnabled(true)
+	if !On() {
+		t.Fatal("SetEnabled(true) not visible")
+	}
+	SetEnabled(false)
+	if On() {
+		t.Fatal("SetEnabled(false) not visible")
+	}
+}
+
+// TestZeroAllocations asserts both halves of the hot-path contract: the
+// disabled path (one predicated load, no metric touched) and the enabled
+// path (sharded atomic updates) perform zero heap allocations.
+func TestZeroAllocations(t *testing.T) {
+	c := newCounter("test", "alloc_counter", 8)
+	g := &Gauge{desc: Desc{Subsystem: "test", Name: "alloc_gauge"}}
+	h := newHistogram("test", "alloc_hist", 8)
+
+	site := func(key int) {
+		// The exact pattern every instrumented hot path uses.
+		if On() {
+			c.Inc(key)
+			g.SetMax(int64(key))
+			h.Observe(key, int64(key)+1)
+		}
+	}
+	SetEnabled(false)
+	if n := testing.AllocsPerRun(1000, func() { site(3) }); n != 0 {
+		t.Fatalf("disabled instrumentation path allocates %.1f times per op", n)
+	}
+	SetEnabled(true)
+	defer SetEnabled(false)
+	if n := testing.AllocsPerRun(1000, func() { site(5) }); n != 0 {
+		t.Fatalf("enabled instrumentation path allocates %.1f times per op", n)
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Metric kinds as they appear in snapshots.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// Metric is the interface all obs metric types implement.
+type Metric interface {
+	Desc() Desc
+	Reset()
+	snapshot(withShards bool) MetricSnapshot
+}
+
+// Registry holds a set of metrics and produces deterministic snapshots.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[Desc]Metric
+}
+
+// Default is the process-wide registry used by the package-level
+// constructors and exported by cmd/obsdump, cmd/experiments and the
+// benchmark sidecars.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[Desc]Metric)}
+}
+
+// Register adds a metric. Registering two metrics with the same
+// (subsystem, name) panics: duplicate identities would make snapshots
+// ambiguous, and all registrations happen at package init where a panic is
+// an immediate, attributable failure.
+func (r *Registry) Register(m Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := m.Desc()
+	if _, dup := r.metrics[d]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %s/%s", d.Subsystem, d.Name))
+	}
+	r.metrics[d] = m
+}
+
+// Reset zeroes every registered metric. Benchmark harnesses call this
+// between runs so each sidecar reflects one run only.
+func (r *Registry) Reset() {
+	for _, m := range r.sorted() {
+		m.Reset()
+	}
+}
+
+// sorted returns the metrics ordered by (subsystem, name).
+func (r *Registry) sorted() []Metric {
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Desc(), out[j].Desc()
+		if a.Subsystem != b.Subsystem {
+			return a.Subsystem < b.Subsystem
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// BucketSnapshot is one non-empty histogram bucket: Le is the inclusive
+// upper bound of the bucket (nanoseconds for latency histograms).
+type BucketSnapshot struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// MetricSnapshot is the exported state of one metric.
+type MetricSnapshot struct {
+	Subsystem string           `json:"subsystem"`
+	Name      string           `json:"name"`
+	Kind      string           `json:"kind"`
+	Value     int64            `json:"value,omitempty"`
+	Count     int64            `json:"count,omitempty"`
+	Sum       int64            `json:"sum,omitempty"`
+	Buckets   []BucketSnapshot `json:"buckets,omitempty"`
+	Shards    []int64          `json:"shards,omitempty"`
+}
+
+// Snapshot is a point-in-time export of a registry.
+type Snapshot struct {
+	Enabled bool             `json:"enabled"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// SnapshotOptions control snapshot detail.
+type SnapshotOptions struct {
+	// WithShards includes per-shard counter values (the per-PE breakdown).
+	WithShards bool
+	// SkipZero omits metrics that have recorded nothing, keeping sidecars
+	// focused on the subsystems a run actually exercised.
+	SkipZero bool
+}
+
+// Snapshot exports all registered metrics sorted by (subsystem, name).
+func (r *Registry) Snapshot(opts SnapshotOptions) Snapshot {
+	snap := Snapshot{Enabled: On(), Metrics: []MetricSnapshot{}}
+	for _, m := range r.sorted() {
+		ms := m.snapshot(opts.WithShards)
+		if opts.SkipZero && ms.Value == 0 && ms.Count == 0 && ms.Sum == 0 {
+			continue
+		}
+		snap.Metrics = append(snap.Metrics, ms)
+	}
+	return snap
+}
+
+// WriteJSON writes an indented JSON snapshot.
+func (r *Registry) WriteJSON(w io.Writer, opts SnapshotOptions) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot(opts))
+}
+
+// WriteCSV writes the snapshot as flat CSV rows:
+//
+//	subsystem,name,kind,field,value
+//
+// Counters and gauges emit one "value" row; histograms emit "count" and
+// "sum" rows plus one "le=<bound>" row per non-empty bucket, so the file
+// loads directly into any column-oriented tool.
+func (r *Registry) WriteCSV(w io.Writer, opts SnapshotOptions) error {
+	if _, err := fmt.Fprintln(w, "subsystem,name,kind,field,value"); err != nil {
+		return err
+	}
+	for _, ms := range r.Snapshot(opts).Metrics {
+		var err error
+		switch ms.Kind {
+		case KindHistogram:
+			_, err = fmt.Fprintf(w, "%s,%s,%s,count,%d\n%s,%s,%s,sum,%d\n",
+				ms.Subsystem, ms.Name, ms.Kind, ms.Count,
+				ms.Subsystem, ms.Name, ms.Kind, ms.Sum)
+			for _, b := range ms.Buckets {
+				if err != nil {
+					break
+				}
+				_, err = fmt.Fprintf(w, "%s,%s,%s,le=%d,%d\n", ms.Subsystem, ms.Name, ms.Kind, b.Le, b.Count)
+			}
+		default:
+			_, err = fmt.Fprintf(w, "%s,%s,%s,value,%d\n", ms.Subsystem, ms.Name, ms.Kind, ms.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expvarOnce guards against double-publishing (expvar panics on duplicate
+// names).
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the Default registry under the expvar name "obs",
+// making snapshots available on any process that serves the standard
+// /debug/vars endpoint (cmd/obsdump wires this together with net/http/pprof).
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			return Default.Snapshot(SnapshotOptions{SkipZero: true})
+		}))
+	})
+}
