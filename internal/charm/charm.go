@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"blueq/internal/converse"
+	"blueq/internal/obs"
 )
 
 // Runtime is a Charm++ runtime instance over a Converse machine.
@@ -104,10 +105,20 @@ func (rt *Runtime) dispatch(pe *converse.PE, msg *converse.Message) {
 	cm := msg.Payload.(charmMsg)
 	switch cm.kind {
 	case kindArray:
+		if obs.On() {
+			mArrayMsgs.Inc(pe.Id())
+		}
 		rt.arrays[cm.array].deliver(pe, cm, msg.Bytes)
 	case kindGroup:
+		if obs.On() {
+			mGroupMsgs.Inc(pe.Id())
+			mEntryCalls.Inc(cm.entry)
+		}
 		rt.groups[cm.array].deliver(pe, cm)
 	case kindReduction:
+		if obs.On() {
+			mReductionMsg.Inc(pe.Id())
+		}
 		rt.arrays[cm.array].reduceArrive(pe, cm.data.(*reductionContribution))
 	}
 	rt.done.Add(1)
@@ -115,6 +126,10 @@ func (rt *Runtime) dispatch(pe *converse.PE, msg *converse.Message) {
 
 func (rt *Runtime) send(pe *converse.PE, dstPE int, cm charmMsg, bytes, prio int) error {
 	rt.sent.Add(1)
+	if obs.On() {
+		mMsgsSent.Inc(pe.Id())
+		mBytesSent.Add(pe.Id(), int64(bytes))
+	}
 	return pe.Send(dstPE, &converse.Message{Handler: rt.handler, Bytes: bytes, Prio: prio, Payload: cm})
 }
 
@@ -297,10 +312,16 @@ func (a *Array) Broadcast(pe *converse.PE, entry int, payload any, bytes int) er
 // guarantee that one element never runs on two PEs at once.
 func (a *Array) deliver(pe *converse.PE, cm charmMsg, bytes int) {
 	if home := a.HomePE(cm.idx); home != pe.Id() {
+		if obs.On() {
+			mForwarded.Inc(pe.Id())
+		}
 		if err := a.rt.send(pe, home, cm, bytes, 0); err != nil {
 			panic(fmt.Sprintf("charm: forwarding to migrated element failed: %v", err))
 		}
 		return
+	}
+	if obs.On() {
+		mEntryCalls.Inc(cm.entry)
 	}
 	a.entries[cm.entry](pe, a.elems[cm.idx], cm.idx, cm.data)
 }

@@ -1,0 +1,18 @@
+package charm
+
+import "blueq/internal/obs"
+
+// Observability instrumentation (internal/obs), guarded by obs.On() at
+// every call site. Message counters shard by the executing PE id; the
+// entry-method counter shards by entry id, giving the "messages per entry
+// method" breakdown (Task Bench-style per-task accounting) in snapshots
+// that request per-shard detail.
+var (
+	mMsgsSent     = obs.NewCounter("charm", "messages_sent_total", 0)
+	mBytesSent    = obs.NewCounter("charm", "bytes_sent_total", 0)
+	mArrayMsgs    = obs.NewCounter("charm", "array_deliver_total", 0)
+	mGroupMsgs    = obs.NewCounter("charm", "group_deliver_total", 0)
+	mReductionMsg = obs.NewCounter("charm", "reduction_deliver_total", 0)
+	mEntryCalls   = obs.NewCounter("charm", "entry_invocations_total", 0)
+	mForwarded    = obs.NewCounter("charm", "migration_forward_total", 0)
+)

@@ -1,6 +1,10 @@
 package converse
 
-import "fmt"
+import (
+	"fmt"
+
+	"blueq/internal/obs"
+)
 
 // Scalable broadcast: instead of the origin sending NumPEs individual
 // messages, the message travels down a k-ary spanning tree over the nodes
@@ -30,6 +34,9 @@ func (m *Machine) registerBroadcast() {
 // payloads as read-only.
 func (pe *PE) Broadcast(msg *Message) error {
 	msg.SrcPE = pe.id
+	if obs.On() {
+		mBcastRoot.Inc(pe.id)
+	}
 	pe.node.onBroadcast(pe, &bcastMsg{inner: msg, root: pe.node.rank})
 	return nil
 }
@@ -60,12 +67,18 @@ func (n *SMPNode) onBroadcast(pe *PE, bm *bcastMsg) {
 		if err != nil {
 			panic(fmt.Sprintf("converse: broadcast forward to node %d: %v", child, err))
 		}
+		if obs.On() {
+			mBcastForward.Inc(pe.id)
+		}
 	}
 	// Local fan-out: one copy per worker PE on this node.
 	for _, local := range n.pes {
 		clone := *bm.inner
 		clone.destLocal = local.local
 		local.enqueue(&clone)
+	}
+	if obs.On() {
+		mBcastDeliver.Add(pe.id, int64(len(n.pes)))
 	}
 }
 

@@ -21,9 +21,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blueq/internal/lockless"
 	"blueq/internal/mempool"
+	"blueq/internal/obs"
 	"blueq/internal/pami"
 	"blueq/internal/torus"
 	"blueq/internal/wakeup"
@@ -117,6 +119,7 @@ type Message struct {
 
 	seq       uint64 // FIFO tie-break within equal priorities
 	destLocal int    // worker rank within the destination node
+	enqNS     int64  // enqueue timestamp for the deliver-latency histogram (0 when obs is off)
 }
 
 // Machine is a running Converse instance spanning Config.Nodes processes.
@@ -376,6 +379,9 @@ func (pe *PE) IdleCycles() int64 { return pe.idles.Load() }
 
 func (pe *PE) enqueue(msg *Message) {
 	pe.enqueued.Add(1)
+	if obs.On() {
+		msg.enqNS = time.Now().UnixNano()
+	}
 	pe.queue.Enqueue(msg)
 	pe.wake.Signal()
 }
@@ -395,15 +401,29 @@ func (pe *PE) Send(dst int, msg *Message) error {
 	msg.SrcPE = pe.id
 	target := m.pes[dst]
 	if target.node == pe.node {
+		if obs.On() {
+			mSendLocal.Inc(pe.id)
+			mSendBytes.Add(pe.id, int64(msg.Bytes))
+		}
 		target.enqueue(msg)
 		return nil
 	}
 	msg.destLocal = target.local
+	if obs.On() {
+		mSendRemote.Inc(pe.id)
+		mSendBytes.Add(pe.id, int64(msg.Bytes))
+	}
 	if msg.Bytes > RendezvousThreshold {
+		if obs.On() {
+			mSendRzv.Inc(pe.id)
+		}
 		return pe.sendRendezvous(target, msg)
 	}
 	ctx := pe.node.contexts[pe.local%len(pe.node.contexts)]
 	if msg.Bytes <= pami.ShortLimit {
+		if obs.On() {
+			mSendImmediate.Inc(pe.id)
+		}
 		return ctx.SendImmediate(target.node.rank, target.local, m.dispConverse, msg, msg.Bytes)
 	}
 	return ctx.Send(target.node.rank, target.local, m.dispConverse, msg, msg.Bytes, nil)
@@ -451,6 +471,9 @@ func (pe *PE) run(initPE func(pe *PE)) {
 			continue
 		}
 		pe.idles.Add(1)
+		if obs.On() {
+			mSchedIdle.Inc(pe.id)
+		}
 		spins++
 		if spins < idleSpins {
 			// Idle poll: on hardware this spins on the queue's L2 atomic
@@ -460,6 +483,9 @@ func (pe *PE) run(initPE func(pe *PE)) {
 			continue
 		}
 		spins = 0
+		if obs.On() {
+			mSchedBlock.Inc(pe.id)
+		}
 		pe.wake.Wait()
 	}
 	// Drain-free exit: remaining messages are dropped at shutdown, like
@@ -472,6 +498,12 @@ func (pe *PE) invoke(msg *Message) {
 		panic(fmt.Sprintf("converse: PE %d received unknown handler %d", pe.id, msg.Handler))
 	}
 	pe.executed.Add(1)
+	if obs.On() {
+		mDeliver.Inc(pe.id)
+		if msg.enqNS != 0 {
+			mDeliverNS.Observe(pe.id, time.Now().UnixNano()-msg.enqNS)
+		}
+	}
 	m.handlers[msg.Handler](pe, msg)
 }
 

@@ -1,0 +1,88 @@
+package converse
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"blueq/internal/obs"
+)
+
+// TestDeliverLatencyRecorded runs a two-PE intra-node ping-pong with obs
+// enabled and checks the send→deliver latency histogram and the message
+// counters populate — the series the paper's Fig. 5 measurement needs.
+func TestDeliverLatencyRecorded(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	count0, sum0 := mDeliverNS.Count(), mDeliverNS.Sum()
+	local0, deliver0 := mSendLocal.Value(), mDeliver.Value()
+
+	m, err := NewMachine(Config{Nodes: 1, WorkersPerNode: 2, Mode: ModeSMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 100
+	var h int
+	h = m.RegisterHandler(func(pe *PE, msg *Message) {
+		n := msg.Payload.(int)
+		if n >= rounds {
+			m.Shutdown()
+			return
+		}
+		if err := pe.Send(1-pe.Id(), &Message{Handler: h, Bytes: 16, Payload: n + 1}); err != nil {
+			t.Error(err)
+		}
+	})
+	m.Run(func(pe *PE) {
+		if pe.Id() == 0 {
+			_ = pe.Send(1, &Message{Handler: h, Bytes: 16, Payload: 0})
+		}
+	})
+
+	if got := mDeliverNS.Count() - count0; got < rounds {
+		t.Errorf("deliver_latency_ns count delta = %d, want >= %d", got, rounds)
+	}
+	if got := mDeliverNS.Sum() - sum0; got <= 0 {
+		t.Errorf("deliver_latency_ns sum delta = %d, want > 0", got)
+	}
+	if got := mSendLocal.Value() - local0; got < rounds {
+		t.Errorf("send_local_total delta = %d, want >= %d", got, rounds)
+	}
+	if got := mDeliver.Value() - deliver0; got < rounds {
+		t.Errorf("deliver_total delta = %d, want >= %d", got, rounds)
+	}
+}
+
+// TestBroadcastFanoutRecorded checks the spanning-tree broadcast counters.
+func TestBroadcastFanoutRecorded(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	root0, fan0 := mBcastRoot.Value(), mBcastDeliver.Value()
+
+	m, err := NewMachine(Config{Nodes: 4, WorkersPerNode: 2, Mode: ModeSMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	var h int
+	h = m.RegisterHandler(func(pe *PE, msg *Message) {
+		if delivered.Add(1) == int64(m.NumPEs()) {
+			m.Shutdown()
+		}
+	})
+	m.Run(func(pe *PE) {
+		if pe.Id() == 0 {
+			if err := pe.Broadcast(&Message{Handler: h, Bytes: 8}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+
+	if d := mBcastRoot.Value() - root0; d != 1 {
+		t.Errorf("broadcast_root_total delta = %d, want 1", d)
+	}
+	if d := mBcastDeliver.Value() - fan0; d != int64(m.NumPEs()) {
+		t.Errorf("broadcast_fanout_total delta = %d, want %d", d, m.NumPEs())
+	}
+}

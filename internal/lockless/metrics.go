@@ -1,0 +1,26 @@
+package lockless
+
+import (
+	"sync/atomic"
+
+	"blueq/internal/obs"
+)
+
+// Observability instrumentation (internal/obs). Every update below is
+// guarded by obs.On() at the call site, so the disabled cost is one atomic
+// load; shard keys are per-queue ids, which map one-to-one onto consumer
+// PEs in the Converse machine (each PE owns its scheduler queue).
+var (
+	mEnqueue  = obs.NewCounter("lockless", "enqueue_total", 0)
+	mDequeue  = obs.NewCounter("lockless", "dequeue_total", 0)
+	mSpill    = obs.NewCounter("lockless", "overflow_spill_total", 0)
+	mDrain    = obs.NewCounter("lockless", "overflow_drain_total", 0)
+	mDepthHW  = obs.NewGauge("lockless", "ring_depth_high_water")
+	mMutexEnq = obs.NewCounter("lockless", "mutex_enqueue_total", 0)
+	mMutexDeq = obs.NewCounter("lockless", "mutex_dequeue_total", 0)
+)
+
+// queueSeq hands each queue a distinct metric shard key at construction.
+var queueSeq atomic.Uint64
+
+func nextQueueID() int { return int(queueSeq.Add(1) - 1) }

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"blueq/internal/l2atomic"
+	"blueq/internal/obs"
 )
 
 // DefaultRingSize is the number of slots in an L2Queue ring when the caller
@@ -54,6 +55,7 @@ type L2Queue struct {
 	pc   l2atomic.BoundedCounter // producer counter + bound, adjacent words
 	mask uint64
 	ring []atomic.Pointer[slot]
+	id   int // metric shard key (one queue per consumer PE)
 
 	// consumed counts messages the consumer has taken from the ring. Only
 	// the consumer writes it; it is atomic so that monitoring threads may
@@ -84,6 +86,7 @@ func NewL2Queue(size int) *L2Queue {
 	q := &L2Queue{
 		mask: uint64(n - 1),
 		ring: make([]atomic.Pointer[slot], n),
+		id:   nextQueueID(),
 	}
 	q.pc.Reset(0, uint64(n))
 	return q
@@ -95,12 +98,20 @@ func NewL2Queue(size int) *L2Queue {
 func (q *L2Queue) Enqueue(msg any) {
 	if ticket, ok := q.pc.BoundedLoadIncrement(); ok {
 		q.ring[ticket&q.mask].Store(&slot{msg: msg})
+		if obs.On() {
+			mEnqueue.Inc(q.id)
+			mDepthHW.SetMax(int64(ticket + 1 - q.consumed.Load()))
+		}
 		return
 	}
 	q.omu.Lock()
 	q.overflow = append(q.overflow, msg)
 	q.omu.Unlock()
 	q.olen.Add(1)
+	if obs.On() {
+		mEnqueue.Inc(q.id)
+		mSpill.Inc(q.id)
+	}
 }
 
 // Dequeue removes one message. It drains the L2 ring first; the overflow
@@ -113,6 +124,9 @@ func (q *L2Queue) Dequeue() (any, bool) {
 		q.consumed.Add(1)
 		// Re-open the slot for producers.
 		q.pc.StoreAddBound(1)
+		if obs.On() {
+			mDequeue.Inc(q.id)
+		}
 		return s.msg, true
 	}
 	if q.olen.Load() > 0 {
@@ -123,6 +137,10 @@ func (q *L2Queue) Dequeue() (any, bool) {
 			q.overflow = q.overflow[1:]
 			q.omu.Unlock()
 			q.olen.Add(-1)
+			if obs.On() {
+				mDequeue.Inc(q.id)
+				mDrain.Inc(q.id)
+			}
 			return msg, true
 		}
 		q.omu.Unlock()
@@ -161,16 +179,20 @@ type MutexQueue struct {
 	mu   sync.Mutex
 	head int
 	buf  []any
+	id   int // metric shard key
 }
 
 // NewMutexQueue returns an empty mutex-guarded queue.
-func NewMutexQueue() *MutexQueue { return &MutexQueue{} }
+func NewMutexQueue() *MutexQueue { return &MutexQueue{id: nextQueueID()} }
 
 // Enqueue appends msg under the queue mutex.
 func (q *MutexQueue) Enqueue(msg any) {
 	q.mu.Lock()
 	q.buf = append(q.buf, msg)
 	q.mu.Unlock()
+	if obs.On() {
+		mMutexEnq.Inc(q.id)
+	}
 }
 
 // Dequeue removes the oldest message under the queue mutex.
@@ -187,6 +209,9 @@ func (q *MutexQueue) Dequeue() (any, bool) {
 	msg := q.buf[q.head]
 	q.buf[q.head] = nil
 	q.head++
+	if obs.On() {
+		mMutexDeq.Inc(q.id)
+	}
 	return msg, true
 }
 

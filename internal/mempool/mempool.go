@@ -17,6 +17,8 @@ package mempool
 import (
 	"sync"
 	"sync/atomic"
+
+	"blueq/internal/obs"
 )
 
 // Buffer is a message buffer handed out by an allocator. Owner identifies
@@ -83,12 +85,18 @@ func (p *PoolAllocator) Alloc(tid, size int) *Buffer {
 	if b := p.pools[tid].dequeue(); b != nil {
 		if cap(b.Data) >= size {
 			p.stats.PoolHits.Add(1)
+			if obs.On() {
+				mPoolHit.Inc(tid)
+			}
 			b.Data = b.Data[:size]
 			return b
 		}
 		// Too small for this request; let the GC have it.
 	}
 	p.stats.HeapAllocs.Add(1)
+	if obs.On() {
+		mPoolMiss.Inc(tid)
+	}
 	return &Buffer{Data: make([]byte, size), Owner: tid}
 }
 
@@ -99,10 +107,17 @@ func (p *PoolAllocator) Free(tid int, b *Buffer) {
 	pool := p.pools[b.Owner]
 	if pool.len() >= p.threshold {
 		p.stats.HeapFrees.Add(1)
+		if obs.On() {
+			mHeapFree.Inc(tid)
+		}
 		return // dropped; reclaimed by the garbage collector
 	}
 	p.stats.PoolFrees.Add(1)
 	pool.enqueue(b)
+	if obs.On() {
+		mPoolFree.Inc(tid)
+		mPoolDepth.SetMax(int64(pool.len()))
+	}
 }
 
 // Stats returns the allocator's event counters.
@@ -171,6 +186,9 @@ func (a *ArenaAllocator) Alloc(tid, size int) *Buffer {
 		}
 	}
 	a.stats.LockAcquires.Add(1)
+	if obs.On() {
+		mArenaLock.Inc(tid)
+	}
 	var b *Buffer
 	for n := len(ar.free); n > 0; n-- {
 		cand := ar.free[n-1]
@@ -183,6 +201,9 @@ func (a *ArenaAllocator) Alloc(tid, size int) *Buffer {
 	}
 	if b == nil {
 		b = &Buffer{Data: make([]byte, size), Owner: tid}
+		if obs.On() {
+			mArenaGrow.Inc(tid)
+		}
 	}
 	b.arena = ar
 	ar.mu.Unlock()
@@ -201,6 +222,9 @@ func (a *ArenaAllocator) Free(tid int, b *Buffer) {
 	a.stats.LockAcquires.Add(1)
 	ar.free = append(ar.free, b)
 	ar.mu.Unlock()
+	if obs.On() {
+		mArenaLock.Inc(tid)
+	}
 }
 
 // Stats returns the allocator's event counters.

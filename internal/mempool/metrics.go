@@ -1,0 +1,18 @@
+package mempool
+
+import "blueq/internal/obs"
+
+// Observability instrumentation (internal/obs), guarded by obs.On() at
+// every call site. Shard keys are the caller's thread id, matching the
+// paper's per-thread pool ownership; the per-allocator Stats struct remains
+// the fine-grained per-instance view, while these feed the process-wide
+// registry that snapshots and CI sidecars read.
+var (
+	mPoolHit   = obs.NewCounter("mempool", "pool_hit_total", 0)
+	mPoolMiss  = obs.NewCounter("mempool", "pool_miss_total", 0)
+	mPoolFree  = obs.NewCounter("mempool", "pool_free_total", 0)
+	mHeapFree  = obs.NewCounter("mempool", "heap_free_total", 0)
+	mPoolDepth = obs.NewGauge("mempool", "pool_depth_high_water")
+	mArenaLock = obs.NewCounter("mempool", "arena_lock_total", 0)
+	mArenaGrow = obs.NewCounter("mempool", "arena_grow_total", 0)
+)

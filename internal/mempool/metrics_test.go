@@ -1,0 +1,81 @@
+package mempool
+
+import (
+	"testing"
+
+	"blueq/internal/obs"
+)
+
+// TestPoolMetricsRecorded checks the registry counters for the pool
+// allocator: miss on first alloc, hit after recycling, heap free beyond the
+// threshold.
+func TestPoolMetricsRecorded(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	hit0, miss0 := mPoolHit.Value(), mPoolMiss.Value()
+	free0, heap0 := mPoolFree.Value(), mHeapFree.Value()
+
+	p := NewPoolAllocator(1, 2)
+	b1 := p.Alloc(0, 64) // miss
+	p.Free(0, b1)        // pool free
+	b2 := p.Alloc(0, 64) // hit
+	b3 := p.Alloc(0, 64) // miss
+	b4 := p.Alloc(0, 64) // miss
+	p.Free(0, b2)
+	p.Free(0, b3)
+	p.Free(0, b4) // pool at threshold 2: heap free
+
+	if got := mPoolMiss.Value() - miss0; got != 3 {
+		t.Errorf("pool_miss_total delta = %d, want 3", got)
+	}
+	if got := mPoolHit.Value() - hit0; got != 1 {
+		t.Errorf("pool_hit_total delta = %d, want 1", got)
+	}
+	if got := mPoolFree.Value() - free0; got != 3 {
+		t.Errorf("pool_free_total delta = %d, want 3", got)
+	}
+	if got := mHeapFree.Value() - heap0; got != 1 {
+		t.Errorf("heap_free_total delta = %d, want 1", got)
+	}
+}
+
+// TestArenaMetricsRecorded checks lock-acquisition and growth counters for
+// the glibc-model arena allocator.
+func TestArenaMetricsRecorded(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	lock0, grow0 := mArenaLock.Value(), mArenaGrow.Value()
+
+	a := NewArenaAllocator(2, 2)
+	b := a.Alloc(0, 64)  // lock + grow
+	a.Free(0, b)         // lock
+	b2 := a.Alloc(0, 64) // lock, reuses the freed buffer
+	a.Free(0, b2)        // lock
+
+	if got := mArenaLock.Value() - lock0; got != 4 {
+		t.Errorf("arena_lock_total delta = %d, want 4", got)
+	}
+	if got := mArenaGrow.Value() - grow0; got != 1 {
+		t.Errorf("arena_grow_total delta = %d, want 1", got)
+	}
+}
+
+// TestPoolAllocFreeNoExtraAllocations pins the pool recycle path: hit+free
+// round trips allocate nothing, with instrumentation off or on.
+func TestPoolAllocFreeNoExtraAllocations(t *testing.T) {
+	p := NewPoolAllocator(1, 64)
+	seed := p.Alloc(0, 128)
+	p.Free(0, seed)
+	for _, enabled := range []bool{false, true} {
+		obs.SetEnabled(enabled)
+		if n := testing.AllocsPerRun(1000, func() {
+			b := p.Alloc(0, 128)
+			p.Free(0, b)
+		}); n != 0 {
+			t.Errorf("enabled=%v: pool hit+free allocates %.1f times, want 0", enabled, n)
+		}
+	}
+	obs.SetEnabled(false)
+}

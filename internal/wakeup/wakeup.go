@@ -15,7 +15,27 @@
 // (3) any of several watch sources can wake the thread.
 package wakeup
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"blueq/internal/obs"
+)
+
+// Observability instrumentation (internal/obs), guarded by obs.On(). The
+// spurious/productive split is the signal the paper's comm-thread design
+// cares about: a spurious wakeup is a resumed wait that finds no latched
+// event (condition-variable wakeups without work), a productive one
+// resumes with work pending. Shard keys are per-unit ids, which map onto
+// the PEs and comm threads owning the units.
+var (
+	mSignal     = obs.NewCounter("wakeup", "signal_total", 0)
+	mProductive = obs.NewCounter("wakeup", "productive_wake_total", 0)
+	mSpurious   = obs.NewCounter("wakeup", "spurious_wake_total", 0)
+)
+
+// unitSeq hands each unit a distinct metric shard key.
+var unitSeq atomic.Uint64
 
 // Unit is one wakeup unit, servicing one waiting thread (as on hardware,
 // where each hardware thread has its own WAC registers).
@@ -26,11 +46,12 @@ type Unit struct {
 	waiting bool
 	wakes   uint64
 	closed  bool
+	id      int // metric shard key
 }
 
 // NewUnit returns an armed wakeup unit with no pending events.
 func NewUnit() *Unit {
-	u := &Unit{}
+	u := &Unit{id: int(unitSeq.Add(1) - 1)}
 	u.cond = sync.NewCond(&u.mu)
 	return u
 }
@@ -44,6 +65,9 @@ func (u *Unit) Signal() {
 	u.latched = true
 	u.mu.Unlock()
 	u.cond.Signal()
+	if obs.On() {
+		mSignal.Inc(u.id)
+	}
 }
 
 // Wait blocks until an event has been signalled since the last Wait
@@ -57,12 +81,18 @@ func (u *Unit) Wait() bool {
 		u.waiting = true
 		u.cond.Wait()
 		u.waiting = false
+		if obs.On() && !u.latched && !u.closed {
+			mSpurious.Inc(u.id)
+		}
 	}
 	if u.closed && !u.latched {
 		return false
 	}
 	u.latched = false
 	u.wakes++
+	if obs.On() {
+		mProductive.Inc(u.id)
+	}
 	return true
 }
 
