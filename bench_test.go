@@ -7,8 +7,10 @@
 package blueq
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -21,8 +23,48 @@ import (
 	"blueq/internal/md"
 	"blueq/internal/mdsim"
 	"blueq/internal/mempool"
+	"blueq/internal/obs"
 	"blueq/internal/trace"
 )
+
+// TestMain emits a machine-readable metrics sidecar next to benchmark
+// output: when benchmarks run (or OBS_SIDECAR is set), the internal/obs
+// instrumentation is enabled and a JSON snapshot of everything the run
+// touched — queue counters, allocator hit rates, the deliver-latency
+// histogram — is written at exit (default BENCH_metrics.json, or the
+// OBS_SIDECAR path). Plain `go test` runs stay uninstrumented, and
+// OBS_SIDECAR=off forces instrumentation off even under -bench, which is
+// how the disabled-path overhead itself is measured.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	sidecar := os.Getenv("OBS_SIDECAR")
+	benching := false
+	if f := flag.Lookup("test.bench"); f != nil && f.Value.String() != "" {
+		benching = true
+	}
+	if sidecar == "off" {
+		benching, sidecar = false, ""
+	}
+	if benching || sidecar != "" {
+		obs.SetEnabled(true)
+	}
+	code := m.Run()
+	if obs.On() {
+		if sidecar == "" {
+			sidecar = "BENCH_metrics.json"
+		}
+		if f, err := os.Create(sidecar); err == nil {
+			if err := obs.Default.WriteJSON(f, obs.SnapshotOptions{SkipZero: true}); err != nil {
+				fmt.Fprintf(os.Stderr, "obs sidecar: %v\n", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "obs sidecar written to %s\n", sidecar)
+		} else {
+			fmt.Fprintf(os.Stderr, "obs sidecar: %v\n", err)
+		}
+	}
+	os.Exit(code)
+}
 
 // ---------------------------------------------------------------------------
 // E1 / Fig 4: inter-node ping-pong latency, three runtime modes.
