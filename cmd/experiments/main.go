@@ -19,6 +19,7 @@ import (
 	"blueq/internal/mempool"
 	"blueq/internal/obs"
 	"blueq/internal/trace"
+	"blueq/internal/transport"
 )
 
 func section(title string) {
@@ -28,6 +29,8 @@ func section(title string) {
 
 func main() {
 	metricsPath := flag.String("metrics", "obs_metrics.json", "write the native-run obs snapshot here ('' disables)")
+	spec := flag.String("transport", "inproc",
+		"transport for the native run: inproc, contended[:scale=F], faulty[:seed=N,drop=F,dup=F,...]")
 	flag.Parse()
 	m := cluster.BGQ()
 
@@ -102,21 +105,28 @@ func main() {
 
 	if *metricsPath != "" {
 		section("E13: native runtime observability (internal/obs)")
-		nativeObservability(*metricsPath)
+		nativeObservability(*metricsPath, *spec)
 	}
 }
 
 // nativeObservability enables the obs instrumentation, drives the native
 // runtime's hot paths (lockless scheduler queues, the pool allocator, the
 // send→deliver latency span), and writes the registry snapshot as JSON.
-func nativeObservability(path string) {
+func nativeObservability(path, spec string) {
 	obs.SetEnabled(true)
 	defer obs.SetEnabled(false)
 
 	// Messaging: a 4-PE ring over two SMP nodes, exercising pointer
-	// exchange, the PAMI path and the deliver-latency histogram.
+	// exchange, the PAMI path and the deliver-latency histogram. The
+	// -transport flag swaps the substrate, so the sidecar also captures
+	// per-transport counters (contention stalls, fault recovery).
 	const rounds = 20000
-	machine, err := converse.NewMachine(converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP})
+	tr, err := transport.New(spec, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	machine, err := converse.NewMachine(converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP, Transport: tr})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -160,6 +170,7 @@ func nativeObservability(path string) {
 	snap := obs.Default.Snapshot(obs.SnapshotOptions{SkipZero: true})
 	fmt.Printf("wrote %s: %d metrics; deliver latency p50 <= %d ns, p99 <= %d ns over %d deliveries\n",
 		path, len(snap.Metrics), deliverQuantile(0.50), deliverQuantile(0.99), deliverCount())
+	fmt.Printf("transport %s: %+v\n", tr, tr.Stats())
 }
 
 // deliverQuantile and deliverCount read the converse deliver-latency

@@ -4,21 +4,29 @@
 // The BG/Q latencies come from the calibrated machine model; pass -native
 // to additionally run a wall-clock ping-pong over the in-process functional
 // runtime (absolute numbers then reflect the host, not BG/Q, but the mode
-// mechanics are executed for real).
+// mechanics are executed for real). -transport selects the messaging
+// substrate for the native run (inproc, contended, faulty — see
+// internal/transport), and -verify asserts every message executed exactly
+// once, the delivery contract a faulty transport must still honour.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"blueq/internal/cluster"
 	"blueq/internal/converse"
+	"blueq/internal/transport"
 )
 
 func main() {
 	native := flag.Bool("native", false, "also run the native in-process ping-pong")
 	rounds := flag.Int("rounds", 2000, "native ping-pong rounds")
+	spec := flag.String("transport", "inproc",
+		"native transport: inproc, contended[:scale=F], faulty[:seed=N,drop=F,dup=F,delayrate=F,delaymax=D]")
+	verify := flag.Bool("verify", false, "assert exactly-once delivery and print transport stats")
 	flag.Parse()
 
 	m := cluster.BGQ()
@@ -26,25 +34,55 @@ func main() {
 	fmt.Println(m.Fig5(nil))
 
 	if *native {
-		fmt.Println("native in-process ping-pong (wall clock, host-dependent):")
+		fmt.Printf("native in-process ping-pong over %q (wall clock, host-dependent):\n", *spec)
+		ok := true
 		for _, mode := range []converse.Mode{converse.ModeNonSMP, converse.ModeSMP, converse.ModeSMPComm} {
-			lat, err := nativePingPong(mode, *rounds)
+			res, err := nativePingPong(mode, *rounds, *spec)
 			if err != nil {
 				fmt.Println("  error:", err)
+				ok = false
 				continue
 			}
-			fmt.Printf("  %-9s %8.2f us one-way\n", mode, lat.Seconds()*1e6)
+			fmt.Printf("  %-9s %8.2f us one-way\n", mode, res.latency.Seconds()*1e6)
+			if *verify {
+				// Exactly rounds+1 handler executions happen across the
+				// machine: the kickoff message plus one per bounce. More
+				// means a duplicate slipped through dedup; fewer, a loss.
+				want := int64(*rounds) + 1
+				if res.executed != want {
+					fmt.Printf("  FAIL %s: executed %d messages, want exactly %d\n", mode, res.executed, want)
+					ok = false
+				} else {
+					fmt.Printf("  ok   %s: %d messages executed exactly once (stats: %+v)\n",
+						mode, res.executed, res.stats)
+				}
+			}
+		}
+		if !ok {
+			os.Exit(1)
 		}
 	}
 }
 
+type pingResult struct {
+	latency  time.Duration
+	executed int64 // handler executions machine-wide
+	stats    transport.Stats
+}
+
 // nativePingPong bounces a message between PEs on two simulated nodes and
-// returns the mean one-way latency.
-func nativePingPong(mode converse.Mode, rounds int) (time.Duration, error) {
-	cfg := converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: mode}
+// returns the mean one-way latency plus delivery accounting.
+func nativePingPong(mode converse.Mode, rounds int, spec string) (pingResult, error) {
+	workers := 2
+	tr, err := transport.New(spec, 2, workers)
+	if err != nil {
+		return pingResult{}, err
+	}
+	defer tr.Close()
+	cfg := converse.Config{Nodes: 2, WorkersPerNode: workers, Mode: mode, Transport: tr}
 	machine, err := converse.NewMachine(cfg)
 	if err != nil {
-		return 0, err
+		return pingResult{}, err
 	}
 	var h int
 	var start time.Time
@@ -70,5 +108,13 @@ func nativePingPong(mode converse.Mode, rounds int) (time.Duration, error) {
 			_ = pe.Send(pe.NumPEs()-1, &converse.Message{Handler: h, Bytes: 32, Payload: 0})
 		}
 	})
-	return elapsed / time.Duration(rounds), nil
+	var executed int64
+	for i := 0; i < machine.NumPEs(); i++ {
+		executed += machine.PE(i).Executed()
+	}
+	return pingResult{
+		latency:  elapsed / time.Duration(rounds),
+		executed: executed,
+		stats:    tr.Stats(),
+	}, nil
 }

@@ -28,6 +28,7 @@ import (
 	"blueq/internal/obs"
 	"blueq/internal/pami"
 	"blueq/internal/torus"
+	"blueq/internal/transport"
 	"blueq/internal/wakeup"
 )
 
@@ -79,13 +80,33 @@ type Config struct {
 	Mode Mode
 	// Queues selects the intra-node queue implementation.
 	Queues QueueKind
-	// RingSize overrides the L2 queue ring size (0 = default).
+	// RingSize overrides the L2 queue ring size (0 = default). Must be a
+	// power of two: the L2 ring indexes slots by masking the producer
+	// ticket, exactly as the BG/Q machine layer does.
 	RingSize int
+	// Transport overrides the messaging substrate. Nil selects the
+	// in-process functional torus network (transport inproc), which the
+	// machine then owns and closes on Wait. A caller-supplied transport
+	// must span at least Nodes endpoints and is closed by the caller.
+	Transport transport.Transport
+	// RendezvousTimeout, when positive, bounds how long a rendezvous
+	// sender waits for the destination's ack before retransmitting the
+	// header (with exponential backoff; receivers dedup by sequence
+	// number). Zero disables timeouts — correct for reliable transports,
+	// where the timers would be pure overhead. NewMachine defaults it to
+	// DefaultRendezvousTimeout when the transport is unreliable.
+	RendezvousTimeout time.Duration
 }
 
 func (c *Config) normalize() error {
 	if c.Nodes < 1 {
 		return fmt.Errorf("converse: Nodes = %d", c.Nodes)
+	}
+	if c.RingSize < 0 {
+		return fmt.Errorf("converse: RingSize = %d, must be >= 0", c.RingSize)
+	}
+	if c.RingSize > 0 && c.RingSize&(c.RingSize-1) != 0 {
+		return fmt.Errorf("converse: RingSize = %d, must be a power of two (the L2 ring masks producer tickets)", c.RingSize)
 	}
 	if c.Mode == ModeNonSMP {
 		c.WorkersPerNode = 1
@@ -126,7 +147,8 @@ type Message struct {
 type Machine struct {
 	cfg      Config
 	tor      *torus.Torus
-	net      *torus.Network
+	tr       transport.Transport
+	ownsTr   bool // machine created the transport and closes it on Wait
 	client   *pami.Client
 	nodes    []*SMPNode
 	pes      []*PE
@@ -143,6 +165,12 @@ type Machine struct {
 	rzvSeq   atomic.Uint64
 	rzvStats RendezvousStats
 
+	// rendezvous timeout machinery (rendezvous.go), armed only when
+	// cfg.RendezvousTimeout > 0
+	rzvMu   sync.Mutex
+	rzvPend map[uint64]*rzvPending
+	rzvSeen map[uint64]bool
+
 	// internal handler id for spanning-tree broadcasts
 	bcastHandler int
 }
@@ -152,17 +180,31 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	tor := torus.MustNew(torus.ShapeForNodes(cfg.Nodes))
 	ctxPerNode := cfg.WorkersPerNode
-	net := torus.NewNetwork(tor, ctxPerNode)
+	tr := cfg.Transport
+	ownsTr := false
+	if tr == nil {
+		tr = transport.NewInproc(torus.MustNew(torus.ShapeForNodes(cfg.Nodes)), ctxPerNode)
+		ownsTr = true
+	} else if tr.Nodes() < cfg.Nodes {
+		return nil, fmt.Errorf("converse: transport %s spans %d nodes, need %d", tr, tr.Nodes(), cfg.Nodes)
+	}
+	if cfg.RendezvousTimeout == 0 && !tr.Reliable() {
+		cfg.RendezvousTimeout = DefaultRendezvousTimeout
+	}
 	m := &Machine{
 		cfg:            cfg,
-		tor:            tor,
-		net:            net,
-		client:         pami.NewClient(net, ctxPerNode),
+		tor:            tr.Torus(),
+		tr:             tr,
+		ownsTr:         ownsTr,
+		client:         pami.NewClient(tr, ctxPerNode),
 		dispConverse:   1,
 		dispRendezvous: 2,
 		dispRzvAck:     3,
+	}
+	if cfg.RendezvousTimeout > 0 {
+		m.rzvPend = make(map[uint64]*rzvPending)
+		m.rzvSeen = make(map[uint64]bool)
 	}
 	for r := 0; r < cfg.Nodes; r++ {
 		node := &SMPNode{machine: m, rank: r}
@@ -207,6 +249,9 @@ func (m *Machine) Config() Config { return m.cfg }
 // Torus returns the network topology.
 func (m *Machine) Torus() *torus.Torus { return m.tor }
 
+// Transport returns the messaging substrate the machine runs over.
+func (m *Machine) Transport() transport.Transport { return m.tr }
+
 // NumPEs returns the total number of worker PEs.
 func (m *Machine) NumPEs() int { return len(m.pes) }
 
@@ -249,21 +294,31 @@ func (m *Machine) Start(initPE func(pe *PE)) {
 }
 
 // Shutdown stops all schedulers and comm threads (CsdExitScheduler on every
-// PE). Safe to call from handlers or externally, once.
+// PE). Safe to call from handlers or externally, once. In-flight transfers
+// are abandoned: pending rendezvous and reliability retransmission timers
+// are cancelled so no retry fires into the stopping machine.
 func (m *Machine) Shutdown() {
 	if !m.stopped.CompareAndSwap(false, true) {
 		return
+	}
+	m.cancelRendezvousTimers()
+	for _, node := range m.nodes {
+		m.client.Node(node.rank).Shutdown()
 	}
 	for _, pe := range m.pes {
 		pe.wake.Signal()
 	}
 }
 
-// Wait blocks until all PE schedulers have exited, then stops comm threads.
+// Wait blocks until all PE schedulers have exited, then stops comm threads
+// and closes the transport if the machine created it.
 func (m *Machine) Wait() {
 	m.wg.Wait()
 	for _, node := range m.nodes {
 		node.stopCommThreads()
+	}
+	if m.ownsTr {
+		m.tr.Close()
 	}
 }
 

@@ -3,6 +3,7 @@ package converse
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"blueq/internal/pami"
 )
@@ -13,11 +14,31 @@ import (
 // destination's dispatch callback issues an RDMA read (PAMI_Rget) to pull
 // the payload, and on completion sends an acknowledgement packet so the
 // sender can free the source buffer.
+//
+// On an unreliable transport the header or the ack can be lost, so the
+// protocol optionally grows a timeout path (Config.RendezvousTimeout):
+// the sender retransmits the header with exponential backoff until the
+// ack arrives; the receiver dedups headers by sequence number, re-acking
+// duplicates without pulling or enqueueing the message twice. This is
+// belt-and-suspenders over the PAMI reliability sublayer — the header and
+// ack already travel through it — but it bounds recovery when an entire
+// channel stalls and gives tests a converse-level knob.
 
 // RendezvousThreshold is the payload size (modelled bytes) above which
 // inter-node sends switch from the eager path to rendezvous, matching the
 // Charm++ BG/Q machine layer's cutover.
 const RendezvousThreshold = 16 * 1024
+
+// DefaultRendezvousTimeout is the header-retransmission timeout armed by
+// NewMachine when the transport is unreliable and the config does not set
+// one. Deliberately coarse: the PAMI reliability sublayer recovers most
+// losses first (RetryBase is milliseconds), so this path only fires when
+// a transfer is truly stuck.
+const DefaultRendezvousTimeout = 20 * time.Millisecond
+
+// maxRzvRetries bounds header retransmissions before the transfer is
+// abandoned and counted in RendezvousStats.Abandoned.
+const maxRzvRetries = 8
 
 // rendezvousHeader is the short packet that initiates the protocol.
 type rendezvousHeader struct {
@@ -32,12 +53,27 @@ type rendezvousAck struct {
 	seq uint64
 }
 
+// rzvPending is a sender-side in-flight transfer awaiting its ack, only
+// tracked when RendezvousTimeout > 0.
+type rzvPending struct {
+	hdr     *rendezvousHeader
+	ctx     *pami.Context // sending context for retransmission
+	dstRank int
+	dstCtx  int
+	tries   int
+	backoff time.Duration
+	timer   *time.Timer
+}
+
 // RendezvousStats counts protocol events; retrieved with
 // Machine.RendezvousStats for tests and reports.
 type RendezvousStats struct {
-	Started   atomic.Int64 // headers sent
-	Pulled    atomic.Int64 // RDMA reads completed at destinations
-	Completed atomic.Int64 // acks received (source buffer freed)
+	Started    atomic.Int64 // headers sent
+	Pulled     atomic.Int64 // RDMA reads completed at destinations
+	Completed  atomic.Int64 // acks received (source buffer freed)
+	Retried    atomic.Int64 // headers retransmitted on timeout
+	DupHeaders atomic.Int64 // duplicate headers suppressed at receivers
+	Abandoned  atomic.Int64 // transfers dropped after maxRzvRetries
 }
 
 // registerRendezvous wires the header and ack dispatch ids on every
@@ -68,15 +104,115 @@ func (pe *PE) sendRendezvous(target *PE, msg *Message) error {
 	}
 	m.rzvStats.Started.Add(1)
 	ctx := pe.node.contexts[hdr.srcCtx]
+	m.trackRendezvous(hdr, ctx, target.node.rank, target.local)
 	return ctx.SendImmediate(target.node.rank, target.local, m.dispRendezvous, hdr, 64)
+}
+
+// trackRendezvous records an in-flight transfer and arms its timeout.
+// No-op when RendezvousTimeout is zero (reliable transports).
+func (m *Machine) trackRendezvous(hdr *rendezvousHeader, ctx *pami.Context, dstRank, dstCtx int) {
+	if m.cfg.RendezvousTimeout <= 0 {
+		return
+	}
+	p := &rzvPending{
+		hdr:     hdr,
+		ctx:     ctx,
+		dstRank: dstRank,
+		dstCtx:  dstCtx,
+		backoff: m.cfg.RendezvousTimeout,
+	}
+	m.rzvMu.Lock()
+	m.rzvPend[hdr.seq] = p
+	seq := hdr.seq
+	p.timer = time.AfterFunc(p.backoff, func() { m.retryRendezvous(seq) })
+	m.rzvMu.Unlock()
+}
+
+// retryRendezvous fires when a transfer's ack has not arrived in time:
+// retransmit the header (the receiver dedups) with doubled backoff, up to
+// maxRzvRetries attempts.
+func (m *Machine) retryRendezvous(seq uint64) {
+	m.rzvMu.Lock()
+	p := m.rzvPend[seq]
+	if p == nil || m.stopped.Load() {
+		m.rzvMu.Unlock()
+		return
+	}
+	p.tries++
+	if p.tries > maxRzvRetries {
+		delete(m.rzvPend, seq)
+		m.rzvMu.Unlock()
+		m.rzvStats.Abandoned.Add(1)
+		return
+	}
+	p.backoff *= 2
+	const backoffCap = time.Second
+	if p.backoff > backoffCap {
+		p.backoff = backoffCap
+	}
+	p.timer = time.AfterFunc(p.backoff, func() { m.retryRendezvous(seq) })
+	m.rzvMu.Unlock()
+	m.rzvStats.Retried.Add(1)
+	_ = p.ctx.SendImmediate(p.dstRank, p.dstCtx, m.dispRendezvous, p.hdr, 64)
+}
+
+// completeRendezvous runs at the sender when the ack arrives. Returns
+// false for a duplicate ack of an already-completed transfer.
+func (m *Machine) completeRendezvous(seq uint64) bool {
+	if m.cfg.RendezvousTimeout <= 0 {
+		return true // no tracking: every ack is first (reliable transport)
+	}
+	m.rzvMu.Lock()
+	p := m.rzvPend[seq]
+	if p == nil {
+		m.rzvMu.Unlock()
+		return false
+	}
+	delete(m.rzvPend, seq)
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	m.rzvMu.Unlock()
+	return true
+}
+
+// cancelRendezvousTimers stops every pending transfer's timer; called
+// from Shutdown so no retransmission fires into a stopping machine.
+func (m *Machine) cancelRendezvousTimers() {
+	if m.cfg.RendezvousTimeout <= 0 {
+		return
+	}
+	m.rzvMu.Lock()
+	for seq, p := range m.rzvPend {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		delete(m.rzvPend, seq)
+	}
+	m.rzvMu.Unlock()
 }
 
 // onRendezvousHeader runs the destination side: pull the payload with an
 // RDMA read, enqueue the message for the destination PE, and acknowledge.
+// With timeouts armed, duplicate headers (retransmissions) are suppressed
+// by sequence number and re-acked without a second pull or enqueue.
 func (n *SMPNode) onRendezvousHeader(src int, data any, bytes int) {
 	m := n.machine
 	hdr := data.(*rendezvousHeader)
 	msg := hdr.msg
+	if m.cfg.RendezvousTimeout > 0 {
+		m.rzvMu.Lock()
+		dup := m.rzvSeen[hdr.seq]
+		m.rzvSeen[hdr.seq] = true
+		m.rzvMu.Unlock()
+		if dup {
+			m.rzvStats.DupHeaders.Add(1)
+			// Our ack was lost or late: re-ack so the sender stops.
+			ctx := n.contexts[msg.destLocal%len(n.contexts)]
+			_ = ctx.SendImmediate(src, hdr.srcCtx, m.dispRzvAck, rendezvousAck{seq: hdr.seq}, 16)
+			return
+		}
+	}
 	if hdr.region != nil {
 		buf := make([]byte, len(hdr.region.Data))
 		// Any context can issue the Rget; use the receiving PE's.
@@ -99,7 +235,11 @@ func (n *SMPNode) onRendezvousHeader(src int, data any, bytes int) {
 
 // onRendezvousAck completes the protocol at the sender.
 func (n *SMPNode) onRendezvousAck(src int, data any, bytes int) {
-	n.machine.rzvStats.Completed.Add(1)
+	m := n.machine
+	ack := data.(rendezvousAck)
+	if m.completeRendezvous(ack.seq) {
+		m.rzvStats.Completed.Add(1)
+	}
 }
 
 // RendezvousStats exposes the protocol counters.

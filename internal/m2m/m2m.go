@@ -14,6 +14,11 @@
 // Handles sit at the Converse level with their own message handler, below
 // the Charm++ entry-method machinery, which is where the per-message
 // overhead saving comes from on the real machine.
+//
+// The layer is transport-agnostic: it rides whatever substrate the machine
+// was configured with (internal/transport), so bursts survive link
+// contention and — over the faulty backend — drops and duplicates, which
+// the PAMI reliability sublayer repairs below the m2m completion counts.
 package m2m
 
 import (

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"blueq/internal/converse"
+	"blueq/internal/pami"
+	"blueq/internal/transport"
 )
 
 func runMachine(t *testing.T, cfg converse.Config, setup func(m *converse.Machine, mgr *Manager), initPE func(pe *converse.PE)) {
@@ -238,5 +240,64 @@ func TestBurstSplitAcrossCommThreads(t *testing.T) {
 		})
 	if count.Load() != fanout {
 		t.Fatalf("delivered %d, want %d", count.Load(), fanout)
+	}
+}
+
+// All-to-all over non-default transports: the m2m burst must complete with
+// exactly-once slot delivery when the substrate contends links or injects
+// drops/duplicates (repaired by the PAMI reliability sublayer below).
+func TestAllToAllAcrossTransports(t *testing.T) {
+	for _, spec := range []string{"contended", "faulty:seed=11,drop=0.05,dup=0.02"} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			base, max := pami.RetryBase, pami.RetryMax
+			pami.RetryBase, pami.RetryMax = 200*time.Microsecond, 2*time.Millisecond
+			t.Cleanup(func() { pami.RetryBase, pami.RetryMax = base, max })
+			tr, err := transport.New(spec, 2, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			cfg := converse.Config{Nodes: 2, WorkersPerNode: 4, Mode: converse.ModeSMP, Transport: tr}
+			var h *Handle
+			var completions atomic.Int64
+			var msgs atomic.Int64
+			var seen sync.Map
+			runMachine(t, cfg,
+				func(m *converse.Machine, mgr *Manager) {
+					h = mgr.NewHandle()
+					n := m.NumPEs()
+					for src := 0; src < n; src++ {
+						for dst := 0; dst < n; dst++ {
+							src, dst := src, dst
+							if err := h.RegisterSend(src, dst, src, 32, func() any { return [2]int{src, dst} }); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+					total := int64(n)
+					for dst := 0; dst < n; dst++ {
+						err := h.RegisterRecv(dst, n,
+							func(pe *converse.PE, slot, srcPE int, data any) {
+								if _, dup := seen.LoadOrStore([2]int{pe.Id(), slot}, true); dup {
+									t.Errorf("PE %d slot %d delivered twice", pe.Id(), slot)
+								}
+								msgs.Add(1)
+							},
+							func(pe *converse.PE) {
+								if completions.Add(1) == total {
+									pe.Machine().Shutdown()
+								}
+							})
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+				},
+				func(pe *converse.PE) { h.Start(pe) })
+			if completions.Load() != 8 || msgs.Load() != 64 {
+				t.Fatalf("completions=%d msgs=%d, want 8/64", completions.Load(), msgs.Load())
+			}
+		})
 	}
 }

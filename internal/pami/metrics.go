@@ -1,0 +1,14 @@
+package pami
+
+import "blueq/internal/obs"
+
+// Observability instrumentation for the reliability sublayer
+// (internal/obs), guarded by obs.On() at the call sites. Shard keys are
+// node ranks: retransmissions are charged to the sender, redeliveries and
+// reordering to the receiver.
+var (
+	mRelRetry     = obs.NewCounter("pami", "rel_retry_total", 0)
+	mRelRedeliver = obs.NewCounter("pami", "rel_redelivered_total", 0)
+	mRelReorder   = obs.NewCounter("pami", "rel_reorder_total", 0)
+	mRelAckSent   = obs.NewCounter("pami", "rel_ack_total", 0)
+)

@@ -24,6 +24,7 @@ import (
 
 	"blueq/internal/lockless"
 	"blueq/internal/torus"
+	"blueq/internal/transport"
 	"blueq/internal/wakeup"
 )
 
@@ -37,19 +38,27 @@ type DispatchFn func(src int, data any, bytes int)
 
 // Client is the per-application PAMI state spanning all simulated nodes.
 type Client struct {
-	net   *torus.Network
+	tr    transport.Transport
 	nodes []*Node
 }
 
-// NewClient creates a client over the given network, with ctxPerNode
-// contexts created on every node.
-func NewClient(net *torus.Network, ctxPerNode int) *Client {
+// NewClient creates a client over the given transport, with ctxPerNode
+// contexts created on every node. When the transport is unreliable
+// (faulty), every node arms its reliability sublayer: eager sends carry
+// sequence numbers, receivers deliver in order exactly once and
+// acknowledge, and senders retransmit unacknowledged packets with
+// exponential backoff.
+func NewClient(tr transport.Transport, ctxPerNode int) *Client {
 	if ctxPerNode < 1 {
 		ctxPerNode = 1
 	}
-	c := &Client{net: net, nodes: make([]*Node, net.Torus().Nodes())}
+	reliable := tr.Reliable()
+	c := &Client{tr: tr, nodes: make([]*Node, tr.Nodes())}
 	for r := range c.nodes {
-		n := &Node{client: c, rank: r, mu: net.MU(r)}
+		n := &Node{client: c, rank: r, ep: tr.Endpoint(r)}
+		if !reliable {
+			n.rel = newReliator(n)
+		}
 		for i := 0; i < ctxPerNode; i++ {
 			ctx := &Context{
 				node:     n,
@@ -58,16 +67,26 @@ func NewClient(net *torus.Network, ctxPerNode int) *Client {
 				work:     lockless.NewWorkQueue(0, false),
 			}
 			n.contexts = append(n.contexts, ctx)
-			// Each context polls the MU reception FIFO with its own index.
-			if i < n.mu.FIFOCount() {
+			// Each context polls the reception FIFO with its own index.
+			if i < n.ep.FIFOCount() {
 				fifo := i
-				n.mu.SetArrivalHook(fifo, func() { ctx.notify() })
+				n.ep.SetArrivalHook(fifo, func() { ctx.notify() })
 			}
 		}
 		c.nodes[r] = n
 	}
 	return c
 }
+
+// NewClientOverNetwork creates a client over a bare functional network,
+// wrapping it in the inproc transport. Convenience for tests and callers
+// predating the transport layer.
+func NewClientOverNetwork(net *torus.Network, ctxPerNode int) *Client {
+	return NewClient(transport.OverNetwork(net), ctxPerNode)
+}
+
+// Transport returns the messaging substrate this client runs over.
+func (c *Client) Transport() transport.Transport { return c.tr }
 
 // Node returns the PAMI state of one simulated node.
 func (c *Client) Node(rank int) *Node { return c.nodes[rank] }
@@ -79,8 +98,9 @@ func (c *Client) Nodes() int { return len(c.nodes) }
 type Node struct {
 	client   *Client
 	rank     int
-	mu       *torus.MU
+	ep       transport.Endpoint
 	contexts []*Context
+	rel      *reliator // non-nil when the transport is unreliable
 }
 
 // Rank returns the node rank.
@@ -151,6 +171,22 @@ func (c *Client) route(dstNode, dstCtx int) (int, error) {
 	return dstCtx, nil
 }
 
+// inject pushes an eager active-message packet into the transport,
+// detouring through the reliability sublayer when the transport may lose,
+// duplicate, or reorder packets.
+func (n *Node) inject(dstNode, fifo, bytes int, am amPacket) error {
+	if n.rel != nil {
+		return n.rel.sendEager(dstNode, fifo, bytes, am)
+	}
+	return n.ep.Inject(torus.Packet{
+		Type:    torus.MemoryFIFO,
+		Dst:     dstNode,
+		Bytes:   bytes,
+		FIFO:    fifo,
+		Payload: am,
+	})
+}
+
 // SendImmediate sends a short active message. The payload must not exceed
 // ShortLimit bytes (modelled); it is copied into the packet on hardware, so
 // the caller may reuse its buffer immediately.
@@ -163,13 +199,7 @@ func (ctx *Context) SendImmediate(dstNode, dstCtx, dispatch int, data any, bytes
 		return err
 	}
 	ctx.sendsImmediate.Add(1)
-	return ctx.node.mu.Inject(torus.Packet{
-		Type:    torus.MemoryFIFO,
-		Dst:     dstNode,
-		Bytes:   bytes,
-		FIFO:    dc,
-		Payload: amPacket{dispatch: dispatch, data: data, bytes: bytes},
-	})
+	return ctx.node.inject(dstNode, dc, bytes, amPacket{dispatch: dispatch, data: data, bytes: bytes})
 }
 
 // Send sends an active message of any size, invoking onDone (if non-nil)
@@ -181,13 +211,7 @@ func (ctx *Context) Send(dstNode, dstCtx, dispatch int, data any, bytes int, onD
 		return err
 	}
 	ctx.sends.Add(1)
-	err = ctx.node.mu.Inject(torus.Packet{
-		Type:    torus.MemoryFIFO,
-		Dst:     dstNode,
-		Bytes:   bytes,
-		FIFO:    dc,
-		Payload: amPacket{dispatch: dispatch, data: data, bytes: bytes},
-	})
+	err = ctx.node.inject(dstNode, dc, bytes, amPacket{dispatch: dispatch, data: data, bytes: bytes})
 	if err == nil && onDone != nil {
 		onDone()
 	}
@@ -243,9 +267,9 @@ func (ctx *Context) Advance() int {
 func (ctx *Context) advanceLocked() int {
 	n := 0
 	n += ctx.work.Drain()
-	if ctx.id < ctx.node.mu.FIFOCount() {
+	if ctx.id < ctx.node.ep.FIFOCount() {
 		for {
-			p, ok := ctx.node.mu.Poll(ctx.id)
+			p, ok := ctx.node.ep.Poll(ctx.id)
 			if !ok {
 				break
 			}
@@ -255,6 +279,17 @@ func (ctx *Context) advanceLocked() int {
 				if fn := ctx.dispatch[pl.dispatch]; fn != nil {
 					fn(p.Src, pl.data, pl.bytes)
 				}
+			case relPacket:
+				// Reliability sublayer: reorder into sequence, dedup, then
+				// dispatch whatever became deliverable, and acknowledge.
+				for _, am := range ctx.node.rel.onPacket(p.Src, pl) {
+					if fn := ctx.dispatch[am.dispatch]; fn != nil {
+						fn(p.Src, am.data, am.bytes)
+					}
+				}
+				ctx.node.rel.sendAck(p.Src)
+			case relAck:
+				ctx.node.rel.onAck(p.Src, pl.cum)
 			default:
 				// Unknown packet kinds are dropped, as hardware would raise
 				// a protocol error; tests never exercise this.

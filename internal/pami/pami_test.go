@@ -12,7 +12,7 @@ import (
 func newTestClient(nodes, ctxs int) *Client {
 	tor := torus.MustNew(torus.ShapeForNodes(nodes))
 	net := torus.NewNetwork(tor, ctxs)
-	return NewClient(net, ctxs)
+	return NewClientOverNetwork(net, ctxs)
 }
 
 func TestSendImmediateDispatch(t *testing.T) {

@@ -1,0 +1,311 @@
+package pami
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"blueq/internal/obs"
+	"blueq/internal/torus"
+)
+
+// The reliability sublayer, armed per node when the transport reports
+// Reliable() == false (the faulty backend). Real PAMI assumes a lossless
+// network, so this protocol has no hardware counterpart; it is the
+// graceful-degradation machinery that turns "every packet always arrives"
+// into an explicit, tested contract:
+//
+//   - every eager packet from node A to node B carries a per-(A,B) channel
+//     sequence number (relPacket);
+//   - the receiver delivers strictly in sequence order — out-of-order
+//     arrivals are buffered, duplicates (retransmissions, transport dups)
+//     are suppressed by the cumulative sequence horizon — so FIFO order
+//     and exactly-once delivery both survive drops, dups, and delays;
+//   - the receiver acknowledges with the highest in-order sequence
+//     delivered (relAck, cumulative, idempotent, itself unreliable);
+//   - the sender retransmits unacknowledged packets on a timer with
+//     exponential backoff until acknowledged.
+//
+// Rendezvous payloads are untouched: the header and ack packets travel
+// through this sublayer; the Rget pull is a direct memory copy.
+
+// Retry timing for unacknowledged packets. Variables, not constants, so
+// tests can tighten them; production code treats them as constants. Each
+// reliator copies them at construction (NewClient), so set them before
+// building a client — later writes never race with running retry timers.
+var (
+	// RetryBase is the first retransmission delay for a channel.
+	RetryBase = 2 * time.Millisecond
+	// RetryMax caps exponential backoff.
+	RetryMax = 100 * time.Millisecond
+)
+
+// relPacket wraps an eager active message with its channel sequence number.
+type relPacket struct {
+	seq uint64
+	am  amPacket
+}
+
+// relAck acknowledges every sequence number <= cum on the (src, acker)
+// channel. Acks are unreliable and idempotent.
+type relAck struct {
+	cum uint64
+}
+
+// relSendState is the sender half of one directed node-pair channel.
+type relSendState struct {
+	nextSeq uint64
+	unacked map[uint64]torus.Packet
+	timer   *time.Timer
+	backoff time.Duration
+}
+
+// relRecvState is the receiver half: nextExpected is the cumulative
+// horizon (everything below it has been delivered), buffer holds
+// out-of-order arrivals awaiting their predecessors.
+type relRecvState struct {
+	nextExpected uint64
+	buffer       map[uint64]amPacket
+}
+
+// ReliabilityStats counts protocol events for tests and reports.
+type ReliabilityStats struct {
+	Retries      int64 // packets retransmitted on timeout
+	Redelivered  int64 // duplicate arrivals suppressed
+	Reordered    int64 // out-of-order arrivals buffered
+	AcksSent     int64
+	AcksReceived int64
+}
+
+// reliator owns the reliability state of one node.
+type reliator struct {
+	node *Node
+	base time.Duration // RetryBase at construction
+	max  time.Duration // RetryMax at construction
+
+	mu    sync.Mutex
+	send  map[int]*relSendState
+	recv  map[int]*relRecvState
+	stats ReliabilityStats
+	down  bool // Shutdown called: stop arming timers
+}
+
+func newReliator(n *Node) *reliator {
+	return &reliator{
+		node: n,
+		base: RetryBase,
+		max:  RetryMax,
+		send: make(map[int]*relSendState),
+		recv: make(map[int]*relRecvState),
+	}
+}
+
+// ReliabilityStats returns a snapshot of the node's reliability counters,
+// zero when the transport is reliable and the sublayer is disarmed.
+func (n *Node) ReliabilityStats() ReliabilityStats {
+	if n.rel == nil {
+		return ReliabilityStats{}
+	}
+	n.rel.mu.Lock()
+	defer n.rel.mu.Unlock()
+	return n.rel.stats
+}
+
+// sendEager assigns the next channel sequence number, records the packet
+// for retransmission, and injects it.
+func (r *reliator) sendEager(dstNode, fifo, bytes int, am amPacket) error {
+	r.mu.Lock()
+	st := r.send[dstNode]
+	if st == nil {
+		st = &relSendState{unacked: make(map[uint64]torus.Packet)}
+		r.send[dstNode] = st
+	}
+	st.nextSeq++
+	p := torus.Packet{
+		Type:    torus.MemoryFIFO,
+		Dst:     dstNode,
+		Bytes:   bytes,
+		FIFO:    fifo,
+		Payload: relPacket{seq: st.nextSeq, am: am},
+	}
+	st.unacked[st.nextSeq] = p
+	r.armLocked(st, dstNode)
+	r.mu.Unlock()
+	return r.node.ep.Inject(p)
+}
+
+// armLocked ensures a retransmit timer is pending for the channel.
+func (r *reliator) armLocked(st *relSendState, dstNode int) {
+	if st.timer != nil || r.down {
+		return
+	}
+	if st.backoff == 0 {
+		st.backoff = r.base
+	}
+	st.timer = time.AfterFunc(st.backoff, func() { r.retry(dstNode) })
+}
+
+// retry retransmits every unacknowledged packet on the channel, doubling
+// the backoff, until acks drain the channel.
+func (r *reliator) retry(dstNode int) {
+	r.mu.Lock()
+	st := r.send[dstNode]
+	if st == nil || r.down {
+		r.mu.Unlock()
+		return
+	}
+	st.timer = nil
+	if len(st.unacked) == 0 {
+		st.backoff = 0
+		r.mu.Unlock()
+		return
+	}
+	// Retransmit in sequence order so a lossless window is rebuilt with
+	// minimal receiver buffering.
+	seqs := make([]uint64, 0, len(st.unacked))
+	for seq := range st.unacked {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	packets := make([]torus.Packet, len(seqs))
+	for i, seq := range seqs {
+		packets[i] = st.unacked[seq]
+	}
+	r.stats.Retries += int64(len(packets))
+	if st.backoff < r.max {
+		st.backoff *= 2
+		if st.backoff > r.max {
+			st.backoff = r.max
+		}
+	}
+	r.armLocked(st, dstNode)
+	r.mu.Unlock()
+	if obs.On() {
+		mRelRetry.Add(r.node.rank, int64(len(packets)))
+	}
+	for _, p := range packets {
+		_ = r.node.ep.Inject(p)
+	}
+}
+
+// onPacket runs on the receiving node for every relPacket arrival. It
+// returns the active messages that became deliverable, in sequence order.
+func (r *reliator) onPacket(src int, pl relPacket) []amPacket {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.recv[src]
+	if st == nil {
+		st = &relRecvState{nextExpected: 1, buffer: make(map[uint64]amPacket)}
+		r.recv[src] = st
+	}
+	switch {
+	case pl.seq < st.nextExpected:
+		// Already delivered: a retransmission or a transport duplicate.
+		r.stats.Redelivered++
+		if obs.On() {
+			mRelRedeliver.Inc(r.node.rank)
+		}
+		return nil
+	case pl.seq > st.nextExpected:
+		if _, dup := st.buffer[pl.seq]; dup {
+			r.stats.Redelivered++
+			if obs.On() {
+				mRelRedeliver.Inc(r.node.rank)
+			}
+			return nil
+		}
+		r.stats.Reordered++
+		if obs.On() {
+			mRelReorder.Inc(r.node.rank)
+		}
+		st.buffer[pl.seq] = pl.am
+		return nil
+	}
+	// In sequence: deliver it plus any buffered successors.
+	out := []amPacket{pl.am}
+	st.nextExpected++
+	for {
+		am, ok := st.buffer[st.nextExpected]
+		if !ok {
+			break
+		}
+		delete(st.buffer, st.nextExpected)
+		out = append(out, am)
+		st.nextExpected++
+	}
+	return out
+}
+
+// sendAck sends the cumulative acknowledgement for the channel from src.
+// Acks are unreliable: a lost ack is repaired by the retransmission it
+// fails to suppress, which the receiver dedups and re-acks.
+func (r *reliator) sendAck(src int) {
+	r.mu.Lock()
+	st := r.recv[src]
+	if st == nil {
+		r.mu.Unlock()
+		return
+	}
+	cum := st.nextExpected - 1
+	r.stats.AcksSent++
+	r.mu.Unlock()
+	if obs.On() {
+		mRelAckSent.Inc(r.node.rank)
+	}
+	_ = r.node.ep.Inject(torus.Packet{
+		Type:    torus.MemoryFIFO,
+		Dst:     src,
+		Bytes:   ackBytes,
+		FIFO:    0,
+		Payload: relAck{cum: cum},
+	})
+}
+
+// ackBytes is the modelled wire size of a reliability acknowledgement.
+const ackBytes = 16
+
+// onAck runs on the sending node: every packet at or below cum is
+// delivered, so drop it from the retransmission window.
+func (r *reliator) onAck(from int, cum uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.AcksReceived++
+	st := r.send[from]
+	if st == nil {
+		return
+	}
+	for seq := range st.unacked {
+		if seq <= cum {
+			delete(st.unacked, seq)
+		}
+	}
+	if len(st.unacked) == 0 {
+		st.backoff = 0
+		if st.timer != nil {
+			st.timer.Stop()
+			st.timer = nil
+		}
+	}
+}
+
+// shutdown cancels pending retransmission timers; called when the machine
+// above tears down while packets are still in flight.
+func (r *reliator) shutdown() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.down = true
+	for _, st := range r.send {
+		if st.timer != nil {
+			st.timer.Stop()
+			st.timer = nil
+		}
+	}
+}
+
+// Shutdown stops the node's reliability timers (no-op when the transport
+// is reliable). In-flight packets will not be retransmitted afterwards.
+func (n *Node) Shutdown() {
+	if n.rel != nil {
+		n.rel.shutdown()
+	}
+}

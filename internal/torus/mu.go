@@ -81,6 +81,9 @@ func NewNetwork(t *Torus, fifosPerNode int) *Network {
 // Torus returns the underlying topology.
 func (n *Network) Torus() *Torus { return n.torus }
 
+// Nodes returns the number of attached MUs (one per torus node).
+func (n *Network) Nodes() int { return len(n.mus) }
+
 // MU returns the messaging unit of the given node rank.
 func (n *Network) MU(rank int) *MU { return n.mus[rank] }
 

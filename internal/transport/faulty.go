@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blueq/internal/obs"
+	"blueq/internal/torus"
+)
+
+// FaultConfig parameterizes the faulty backend. All rates are
+// probabilities in [0,1], rolled independently per injected packet from a
+// deterministic seeded source.
+type FaultConfig struct {
+	// Seed seeds the fault pattern; 0 selects seed 1. The same seed and
+	// the same injection sequence reproduce the same faults.
+	Seed int64
+	// DropRate is the probability a packet is silently discarded.
+	DropRate float64
+	// DupRate is the probability a packet is delivered twice.
+	DupRate float64
+	// DelayRate is the probability a packet is held for a uniform random
+	// delay in (0, DelayMax] before delivery, reordering it behind later
+	// traffic.
+	DelayRate float64
+	// DelayMax bounds injected delays; 0 selects 200µs.
+	DelayMax time.Duration
+}
+
+// Faulty wraps an inner transport with seeded fault injection: packets are
+// dropped, duplicated, and delayed according to FaultConfig. It reports
+// Reliable() == false, arming the PAMI reliability protocol (acks,
+// retransmission with backoff, in-order dedup delivery) and the Converse
+// rendezvous timeouts above it.
+type Faulty struct {
+	inner Transport
+	cfg   FaultConfig
+	dl    *delayLine
+	eps   []Endpoint
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	injected   atomic.Int64
+	dropped    atomic.Int64
+	duplicated atomic.Int64
+	delayed    atomic.Int64
+}
+
+// NewFaulty wraps inner with fault injection.
+func NewFaulty(inner Transport, cfg FaultConfig) *Faulty {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.DelayMax <= 0 {
+		cfg.DelayMax = 200 * time.Microsecond
+	}
+	t := &Faulty{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	t.dl = newDelayLine(func(src int, p torus.Packet) {
+		_ = inner.Endpoint(src).Inject(p)
+	})
+	t.eps = make([]Endpoint, inner.Nodes())
+	for r := range t.eps {
+		t.eps[r] = &faultyEndpoint{t: t, inner: inner.Endpoint(r)}
+	}
+	return t
+}
+
+// Nodes returns the number of node endpoints.
+func (t *Faulty) Nodes() int { return t.inner.Nodes() }
+
+// Torus returns the underlying topology.
+func (t *Faulty) Torus() *torus.Torus { return t.inner.Torus() }
+
+// Endpoint returns the fault-injecting endpoint of the given rank.
+func (t *Faulty) Endpoint(rank int) Endpoint { return t.eps[rank] }
+
+// Reliable reports false whenever faults are configured: packets may be
+// lost, duplicated, or reordered, and the layers above must cope.
+func (t *Faulty) Reliable() bool {
+	return t.cfg.DropRate == 0 && t.cfg.DupRate == 0 && t.cfg.DelayRate == 0 && t.inner.Reliable()
+}
+
+// Pending reports whether delayed packets remain in flight.
+func (t *Faulty) Pending() bool { return t.dl.pending() || t.inner.Pending() }
+
+// Advance delivers due delayed packets synchronously.
+func (t *Faulty) Advance() int { return t.dl.advance() + t.inner.Advance() }
+
+// Stats combines the fault counters with the inner delivery counts.
+func (t *Faulty) Stats() Stats {
+	s := t.inner.Stats()
+	s.Injected = t.injected.Load()
+	s.Dropped += t.dropped.Load()
+	s.Duplicated += t.duplicated.Load()
+	s.Delayed += t.delayed.Load()
+	return s
+}
+
+// Close stops the delivery goroutine; delayed packets are dropped.
+func (t *Faulty) Close() {
+	t.dl.close()
+	t.inner.Close()
+}
+
+func (t *Faulty) String() string {
+	return fmt.Sprintf("faulty(%s, seed=%d, drop=%g, dup=%g, delay=%g/%s)",
+		t.inner, t.cfg.Seed, t.cfg.DropRate, t.cfg.DupRate, t.cfg.DelayRate, t.cfg.DelayMax)
+}
+
+// faultyEndpoint intercepts Inject to roll the fault dice; the reception
+// side delegates to the inner endpoint.
+type faultyEndpoint struct {
+	t     *Faulty
+	inner Endpoint
+}
+
+func (e *faultyEndpoint) Rank() int                            { return e.inner.Rank() }
+func (e *faultyEndpoint) FIFOCount() int                       { return e.inner.FIFOCount() }
+func (e *faultyEndpoint) SetArrivalHook(fifo int, hook func()) { e.inner.SetArrivalHook(fifo, hook) }
+func (e *faultyEndpoint) Poll(fifo int) (torus.Packet, bool)   { return e.inner.Poll(fifo) }
+func (e *faultyEndpoint) Pending() bool                        { return e.inner.Pending() }
+
+func (e *faultyEndpoint) Inject(p torus.Packet) error {
+	t := e.t
+	if p.Dst < 0 || p.Dst >= t.Nodes() {
+		return fmt.Errorf("transport: destination rank %d out of range [0,%d)", p.Dst, t.Nodes())
+	}
+	t.injected.Add(1)
+	src := e.inner.Rank()
+
+	t.mu.Lock()
+	drop := t.rng.Float64() < t.cfg.DropRate
+	dup := !drop && t.rng.Float64() < t.cfg.DupRate
+	var delay, dupDelay time.Duration
+	if !drop && t.cfg.DelayRate > 0 && t.rng.Float64() < t.cfg.DelayRate {
+		delay = time.Duration(1 + t.rng.Int63n(int64(t.cfg.DelayMax)))
+	}
+	if dup {
+		dupDelay = time.Duration(1 + t.rng.Int63n(int64(t.cfg.DelayMax)))
+	}
+	t.mu.Unlock()
+
+	if drop {
+		t.dropped.Add(1)
+		if obs.On() {
+			obsFaultDrop.Inc(src)
+		}
+		return nil
+	}
+	if delay > 0 {
+		t.delayed.Add(1)
+		if obs.On() {
+			obsFaultDelay.Inc(src)
+		}
+	}
+	t.dl.schedule(time.Now().Add(delay), src, p)
+	if dup {
+		t.duplicated.Add(1)
+		if obs.On() {
+			obsFaultDup.Inc(src)
+		}
+		t.dl.schedule(time.Now().Add(dupDelay), src, p)
+	}
+	return nil
+}
