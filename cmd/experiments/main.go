@@ -31,7 +31,22 @@ func main() {
 	metricsPath := flag.String("metrics", "obs_metrics.json", "write the native-run obs snapshot here ('' disables)")
 	spec := flag.String("transport", "inproc",
 		"transport for the native run: inproc, contended[:scale=F], faulty[:seed=N,drop=F,dup=F,...]")
+	seed := flag.Int64("seed", 0, "seed for faulty-transport and kill-event runs (overrides any seed= in -transport)")
+	only := flag.String("only", "", "run a single section by key (ft) instead of the full suite")
 	flag.Parse()
+	if *seed != 0 {
+		*spec = transport.WithSeed(*spec, *seed)
+	}
+	if *only != "" {
+		switch *only {
+		case "ft":
+			section("E14: PE failure mid-3D-FFT — detect, restore, replay (internal/ft)")
+			ftRecovery(*seed)
+		default:
+			log.Fatalf("unknown -only section %q (want ft)", *only)
+		}
+		return
+	}
 	m := cluster.BGQ()
 
 	section("E1: Fig 4 — inter-node ping-pong (modelled)")
@@ -107,6 +122,9 @@ func main() {
 		section("E13: native runtime observability (internal/obs)")
 		nativeObservability(*metricsPath, *spec)
 	}
+
+	section("E14: PE failure mid-3D-FFT — detect, restore, replay (internal/ft)")
+	ftRecovery(*seed)
 }
 
 // nativeObservability enables the obs instrumentation, drives the native

@@ -27,7 +27,11 @@ func main() {
 	spec := flag.String("transport", "inproc",
 		"native transport: inproc, contended[:scale=F], faulty[:seed=N,drop=F,dup=F,delayrate=F,delaymax=D]")
 	verify := flag.Bool("verify", false, "assert exactly-once delivery and print transport stats")
+	seed := flag.Int64("seed", 0, "seed for a faulty -transport spec (overrides any seed= in the spec)")
 	flag.Parse()
+	if *seed != 0 {
+		*spec = transport.WithSeed(*spec, *seed)
+	}
 
 	m := cluster.BGQ()
 	fmt.Println(m.Fig4(nil))

@@ -34,6 +34,12 @@ type Runtime struct {
 	// message accounting for quiescence detection
 	sent atomic.Int64
 	done atomic.Int64
+
+	// epoch is the recovery generation: every message is stamped with the
+	// epoch at send time and dropped at dispatch if the runtime has since
+	// rolled back (recovery.go). Zero for the whole run when no failure
+	// occurs, so the guard is a single equal-comparison on the hot path.
+	epoch atomic.Uint32
 }
 
 // charmMsg is the wire format of an entry-method invocation.
@@ -42,6 +48,7 @@ type charmMsg struct {
 	array int // array or group id
 	idx   int
 	entry int
+	epoch uint32
 	data  any
 }
 
@@ -103,6 +110,16 @@ func (rt *Runtime) Shutdown() { rt.machine.Shutdown() }
 // methods and accounts completion for quiescence detection.
 func (rt *Runtime) dispatch(pe *converse.PE, msg *converse.Message) {
 	cm := msg.Payload.(charmMsg)
+	if cm.epoch != rt.epoch.Load() {
+		// Sent before a recovery rolled the runtime back: executing it
+		// would replay pre-failure work against restored state. Dropped
+		// without touching the quiescence counters, which BeginRecovery
+		// reset along with the epoch.
+		if obs.On() {
+			mStaleDrop.Inc(pe.Id())
+		}
+		return
+	}
 	switch cm.kind {
 	case kindArray:
 		if obs.On() {
@@ -125,6 +142,7 @@ func (rt *Runtime) dispatch(pe *converse.PE, msg *converse.Message) {
 }
 
 func (rt *Runtime) send(pe *converse.PE, dstPE int, cm charmMsg, bytes, prio int) error {
+	cm.epoch = rt.epoch.Load()
 	rt.sent.Add(1)
 	if obs.On() {
 		mMsgsSent.Inc(pe.Id())
@@ -404,7 +422,7 @@ func (g *Group) Broadcast(pe *converse.PE, entry int, payload any, bytes int) er
 	return pe.Broadcast(&converse.Message{
 		Handler: g.rt.handler,
 		Bytes:   bytes,
-		Payload: charmMsg{kind: kindGroup, array: g.id, entry: entry, data: payload},
+		Payload: charmMsg{kind: kindGroup, array: g.id, entry: entry, epoch: g.rt.epoch.Load(), data: payload},
 	})
 }
 

@@ -15,4 +15,6 @@ var (
 	mReductionMsg = obs.NewCounter("charm", "reduction_deliver_total", 0)
 	mEntryCalls   = obs.NewCounter("charm", "entry_invocations_total", 0)
 	mForwarded    = obs.NewCounter("charm", "migration_forward_total", 0)
+	mStaleDrop    = obs.NewCounter("charm", "stale_epoch_dropped_total", 0)
+	mRestored     = obs.NewCounter("charm", "elements_restored_total", 0)
 )

@@ -1,0 +1,93 @@
+package charm
+
+import (
+	"fmt"
+
+	"blueq/internal/obs"
+)
+
+// Fault-tolerance support: the pack/unpack contract chare elements opt
+// into, and the two runtime-level primitives the recovery protocol
+// (internal/ft) is built from. The design follows Charm++'s double
+// in-memory checkpointing (Zheng et al.): elements serialize themselves at
+// coordinated checkpoints, and after a fail-stop the runtime rolls every
+// element back and re-homes the dead PE's elements onto survivors using
+// the same home-table machinery the load balancer migrates through.
+
+// Checkpointable is implemented by array elements that can serialize their
+// state for in-memory checkpointing (the PUP contract of Charm++).
+type Checkpointable interface {
+	// PackCheckpoint returns a fresh byte slice encoding the element's
+	// durable state. The slice is retained by checkpoint stores and must
+	// not alias mutable element memory.
+	PackCheckpoint() []byte
+	// UnpackCheckpoint restores the element from an encoding produced by
+	// PackCheckpoint on an element with the same index. Transient state
+	// (in-flight counters, scratch buffers) resets to post-construction
+	// values. The blob must be treated as read-only.
+	UnpackCheckpoint(data []byte)
+}
+
+// Epoch returns the current recovery generation (zero until a failure).
+func (rt *Runtime) Epoch() uint32 { return rt.epoch.Load() }
+
+// BeginRecovery starts a rollback: it bumps the message epoch so every
+// message stamped before this call is dropped at dispatch, zeroes the
+// quiescence counters (in-flight pre-failure messages will never execute,
+// so the old counts can no longer balance), and clears partially
+// accumulated reduction state. The caller must have established that no
+// surviving PE is executing or holding undelivered current-epoch messages
+// — internal/ft does so by halting the dead node and waiting for survivor
+// quiescence. Returns the new epoch.
+func (rt *Runtime) BeginRecovery() uint32 {
+	e := rt.epoch.Add(1)
+	rt.sent.Store(0)
+	rt.done.Store(0)
+	rt.mu.Lock()
+	arrays := append([]*Array(nil), rt.arrays...)
+	rt.mu.Unlock()
+	for _, a := range arrays {
+		a.resetReductions()
+	}
+	return e
+}
+
+// resetReductions discards in-flight reduction generations: contributions
+// folded in before the failure came from pre-rollback element states.
+func (a *Array) resetReductions() {
+	st := &a.red
+	st.mu.Lock()
+	for seq := range st.pending {
+		delete(st.pending, seq)
+	}
+	st.mu.Unlock()
+}
+
+// RestoreElement rebuilds element idx from a checkpoint blob and homes it
+// on PE newHome: the factory constructs a fresh element, UnpackCheckpoint
+// loads the saved state, and the home table re-registers the index. The
+// element value is published before the home entry under the same lock
+// HomePE readers take, so no message can route to an element that is not
+// yet in place. Like Rebalance, it must run while the array is quiescent.
+func (a *Array) RestoreElement(idx, newHome int, blob []byte) error {
+	if idx < 0 || idx >= a.n {
+		return fmt.Errorf("charm: array %q restore index %d out of range [0,%d)", a.name, idx, a.n)
+	}
+	if newHome < 0 || newHome >= a.rt.machine.NumPEs() {
+		return fmt.Errorf("charm: array %q restore home PE %d out of range", a.name, newHome)
+	}
+	el := a.factory(idx)
+	c, ok := el.(Checkpointable)
+	if !ok {
+		return fmt.Errorf("charm: array %q element %d (%T) is not Checkpointable", a.name, idx, el)
+	}
+	c.UnpackCheckpoint(blob)
+	a.homeMu.Lock()
+	a.elems[idx] = el
+	a.home[idx] = int32(newHome)
+	a.homeMu.Unlock()
+	if obs.On() {
+		mRestored.Inc(newHome)
+	}
+	return nil
+}

@@ -173,6 +173,12 @@ type Machine struct {
 
 	// internal handler id for spanning-tree broadcasts
 	bcastHandler int
+
+	// shutdown hooks (OnShutdown), run once from Shutdown so subsystems
+	// layered above the machine (fault tolerance, checkpoint timers) tear
+	// down with the same discipline as the rendezvous/reliability timers.
+	hooksMu       sync.Mutex
+	shutdownHooks []func()
 }
 
 // NewMachine builds a machine; handlers must be registered before Start.
@@ -207,7 +213,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		m.rzvSeen = make(map[uint64]bool)
 	}
 	for r := 0; r < cfg.Nodes; r++ {
-		node := &SMPNode{machine: m, rank: r}
+		node := &SMPNode{machine: m, rank: r, halted: make(chan struct{})}
 		node.alloc = mempool.NewPoolAllocator(cfg.WorkersPerNode+cfg.CommThreads, 0)
 		for w := 0; w < cfg.WorkersPerNode; w++ {
 			pe := &PE{
@@ -240,6 +246,16 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	m.registerRendezvous()
 	m.registerBroadcast()
+	// A transport with fail-stop injection halts the dying node's
+	// schedulers the moment its endpoints go silent, so the simulated node
+	// stops computing exactly when it stops communicating.
+	if k, ok := tr.(transport.Killer); ok {
+		k.SetKillHook(func(rank int) {
+			if rank < cfg.Nodes {
+				m.HaltNode(rank)
+			}
+		})
+	}
 	return m, nil
 }
 
@@ -296,12 +312,19 @@ func (m *Machine) Start(initPE func(pe *PE)) {
 // Shutdown stops all schedulers and comm threads (CsdExitScheduler on every
 // PE). Safe to call from handlers or externally, once. In-flight transfers
 // are abandoned: pending rendezvous and reliability retransmission timers
-// are cancelled so no retry fires into the stopping machine.
+// are cancelled, and OnShutdown hooks run, so no timer above or below the
+// scheduler fires into the stopping machine.
 func (m *Machine) Shutdown() {
 	if !m.stopped.CompareAndSwap(false, true) {
 		return
 	}
 	m.cancelRendezvousTimers()
+	m.hooksMu.Lock()
+	hooks := append([]func(){}, m.shutdownHooks...)
+	m.hooksMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 	for _, node := range m.nodes {
 		m.client.Node(node.rank).Shutdown()
 	}
@@ -309,6 +332,62 @@ func (m *Machine) Shutdown() {
 		pe.wake.Signal()
 	}
 }
+
+// OnShutdown registers a hook that runs exactly once, early in Shutdown.
+// Layers that arm their own timers (heartbeats, checkpoint schedules) use
+// it to cancel them with the same discipline the machine applies to its
+// rendezvous and reliability timers. Hooks registered after Shutdown run
+// immediately.
+func (m *Machine) OnShutdown(fn func()) {
+	m.hooksMu.Lock()
+	if m.stopped.Load() {
+		m.hooksMu.Unlock()
+		fn()
+		return
+	}
+	m.shutdownHooks = append(m.shutdownHooks, fn)
+	m.hooksMu.Unlock()
+}
+
+// HaltNode fail-stops the node's schedulers: every PE on it exits its run
+// loop without draining its queue, like a node board losing power. The
+// rest of the machine keeps running. Idempotent; safe from any goroutine.
+// NodeHalted's channel closes once every PE on the node has exited.
+func (m *Machine) HaltNode(rank int) {
+	node := m.nodes[rank]
+	node.dead.Store(true)
+	// The dead node will never ack anything again: stop its reliability
+	// retransmission timers now rather than letting them fire pointlessly
+	// until machine teardown.
+	m.client.Node(rank).Shutdown()
+	for _, pe := range node.pes {
+		pe.wake.Signal()
+	}
+}
+
+// KillNode fail-stops a node end to end: its transport endpoints go silent
+// (when the transport supports fail-stop injection) and its schedulers
+// halt. This is the programmatic hook behind the faulty transport's
+// kill=R@DUR spec events.
+func (m *Machine) KillNode(rank int) {
+	if k, ok := m.tr.(transport.Killer); ok {
+		k.KillNode(rank) // kill hook calls HaltNode
+	}
+	m.HaltNode(rank) // direct halt when the transport has no kill support
+}
+
+// NodeDead reports whether the node has been halted or killed.
+func (m *Machine) NodeDead(rank int) bool { return m.nodes[rank].dead.Load() }
+
+// NodeHalted returns a channel that closes once every PE scheduler on the
+// node has exited — the happens-before edge recovery needs before touching
+// state the dead node's PEs were mutating.
+func (m *Machine) NodeHalted(rank int) <-chan struct{} { return m.nodes[rank].halted }
+
+// PAMIClient exposes the machine's PAMI client so layers above can
+// register their own dispatch ids (the fault-tolerance heartbeats travel
+// this way, below the scheduler and outside charm's message accounting).
+func (m *Machine) PAMIClient() *pami.Client { return m.client }
 
 // Wait blocks until all PE schedulers have exited, then stops comm threads
 // and closes the transport if the machine created it.
@@ -337,6 +416,13 @@ type SMPNode struct {
 	contexts []*pami.Context
 	comm     []*pami.CommThread
 	alloc    mempool.Allocator
+
+	// fail-stop state: dead stops the node's PE run loops; halted closes
+	// (via haltOnce) when the last of them has exited.
+	dead     atomic.Bool
+	exited   atomic.Int32
+	haltOnce sync.Once
+	halted   chan struct{}
 }
 
 // Rank returns the node's process rank.
@@ -429,6 +515,11 @@ func (pe *PE) NumPEs() int { return len(pe.node.machine.pes) }
 // Executed returns the number of messages this PE has run.
 func (pe *PE) Executed() int64 { return pe.executed.Load() }
 
+// Enqueued returns the number of messages queued to this PE. Together with
+// Executed it gives recovery a per-PE quiescence probe: a PE with
+// Enqueued == Executed has nothing waiting and nothing running.
+func (pe *PE) Enqueued() int64 { return pe.enqueued.Load() }
+
 // IdleCycles returns the number of scheduler iterations spent idle.
 func (pe *PE) IdleCycles() int64 { return pe.idles.Load() }
 
@@ -490,6 +581,13 @@ func (pe *PE) Send(dst int, msg *Message) error {
 func (pe *PE) run(initPE func(pe *PE)) {
 	m := pe.node.machine
 	defer m.wg.Done()
+	defer func() {
+		// Last PE out closes the node's halted channel, the signal
+		// recovery waits on before touching the node's state.
+		if pe.node.exited.Add(1) == int32(len(pe.node.pes)) {
+			pe.node.haltOnce.Do(func() { close(pe.node.halted) })
+		}
+	}()
 	if initPE != nil {
 		initPE(pe)
 	}
@@ -497,7 +595,7 @@ func (pe *PE) run(initPE func(pe *PE)) {
 	myCtx := pe.node.contexts[pe.local%len(pe.node.contexts)]
 	const idleSpins = 64
 	spins := 0
-	for !m.stopped.Load() {
+	for !m.stopped.Load() && !pe.node.dead.Load() {
 		progressed := false
 		// Pull everything available into the local priority queue, then run
 		// the best message.

@@ -1,0 +1,47 @@
+package fft3d
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Checkpoint support for the pencils element (charm.Checkpointable). A
+// checkpoint is taken between iterations, when the only durable state is
+// the Z-phase block: phaseY/phaseX are transpose scratch that the next
+// iteration fully repopulates, and the stage counters are zero at a
+// quiescent point. The encoding is the raw IEEE-754 bit patterns of the
+// block, so a restored element resumes bit-for-bit where the checkpointed
+// one stood.
+
+// PackCheckpoint encodes the element's Z-phase block.
+func (p *pencils) PackCheckpoint() []byte {
+	buf := make([]byte, 16*len(p.phaseZ))
+	for i, v := range p.phaseZ {
+		binary.LittleEndian.PutUint64(buf[16*i:], math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(buf[16*i+8:], math.Float64bits(imag(v)))
+	}
+	return buf
+}
+
+// UnpackCheckpoint restores the Z-phase block and resets every transient:
+// scratch phases zeroed, stage counters cleared.
+func (p *pencils) UnpackCheckpoint(data []byte) {
+	if len(data) != 16*len(p.phaseZ) {
+		panic(fmt.Sprintf("fft3d: checkpoint blob is %d bytes, element %d needs %d",
+			len(data), p.pe, 16*len(p.phaseZ)))
+	}
+	for i := range p.phaseZ {
+		re := math.Float64frombits(binary.LittleEndian.Uint64(data[16*i:]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(data[16*i+8:]))
+		p.phaseZ[i] = complex(re, im)
+	}
+	for i := range p.phaseY {
+		p.phaseY[i] = 0
+	}
+	for i := range p.phaseX {
+		p.phaseX[i] = 0
+	}
+	p.cnt = [4]int{}
+	p.done = [4]bool{}
+}

@@ -44,15 +44,21 @@ type Config struct {
 	Filter func(kx, ky, kz int, v complex128) complex128
 }
 
-// Engine is a pencil-decomposed 3D FFT over a Charm++ runtime. Each PE owns
-// one set of pencils (a group element); an iteration is a forward plus a
+// Engine is a pencil-decomposed 3D FFT over a Charm++ runtime. Each PE
+// initially owns one set of pencils; an iteration is a forward plus a
 // backward transform, the paper's Table I workload.
+//
+// The pencils live in a chare *array* with one element per PE and an
+// identity placement, not a group: array elements can be re-homed through
+// the location table, which is what lets the fault-tolerance layer restore
+// a dead PE's pencils onto a survivor (internal/ft). Elements implement
+// charm.Checkpointable (checkpoint.go).
 //
 // Create the engine after charm.NewRuntime and before Runtime.Run.
 type Engine struct {
 	rt  *charm.Runtime
 	cfg Config
-	grp *charm.Group
+	arr *charm.Array
 
 	pr, pc int
 
@@ -120,25 +126,27 @@ func New(rt *charm.Runtime, mgr *m2m.Manager, cfg Config) (*Engine, error) {
 		e.forward = NewGrid(cfg.NX, cfg.NY, cfg.NZ)
 	}
 
-	e.grp = rt.NewGroup("fft3d", func(pe int) charm.Element { return e.newPencils(pe) })
-	e.eStart = e.grp.Entry(func(pe *converse.PE, el charm.Element, _ any) { el.(*pencils).start(pe) })
-	e.eZY = e.grp.Entry(func(pe *converse.PE, el charm.Element, p any) {
+	e.arr = rt.NewArrayPlaced("fft3d", rt.NumPEs(),
+		func(idx int) charm.Element { return e.newPencils(idx) },
+		func(idx int) int { return idx })
+	e.eStart = e.arr.Entry(func(pe *converse.PE, el charm.Element, _ int, _ any) { el.(*pencils).start(pe) })
+	e.eZY = e.arr.Entry(func(pe *converse.PE, el charm.Element, _ int, p any) {
 		m := p.(*transposeMsg)
 		el.(*pencils).recvZY(pe, m.src, m.data)
 	})
-	e.eYX = e.grp.Entry(func(pe *converse.PE, el charm.Element, p any) {
+	e.eYX = e.arr.Entry(func(pe *converse.PE, el charm.Element, _ int, p any) {
 		m := p.(*transposeMsg)
 		el.(*pencils).recvYX(pe, m.src, m.data)
 	})
-	e.eXY = e.grp.Entry(func(pe *converse.PE, el charm.Element, p any) {
+	e.eXY = e.arr.Entry(func(pe *converse.PE, el charm.Element, _ int, p any) {
 		m := p.(*transposeMsg)
 		el.(*pencils).recvXY(pe, m.src, m.data)
 	})
-	e.eYZ = e.grp.Entry(func(pe *converse.PE, el charm.Element, p any) {
+	e.eYZ = e.arr.Entry(func(pe *converse.PE, el charm.Element, _ int, p any) {
 		m := p.(*transposeMsg)
 		el.(*pencils).recvYZ(pe, m.src, m.data)
 	})
-	e.eDone = e.grp.Entry(func(pe *converse.PE, el charm.Element, _ any) { e.elementDone(pe) })
+	e.eDone = e.arr.Entry(func(pe *converse.PE, _ charm.Element, _ int, _ any) { e.elementDone(pe) })
 
 	if cfg.Transport == M2M {
 		if err := e.buildM2M(mgr); err != nil {
@@ -179,7 +187,7 @@ func (e *Engine) SetOnComplete(f func(pe *converse.PE, iter int)) { e.onComplete
 // Start launches one iteration; call from any PE (typically the mainchare),
 // or from the completion callback to chain iterations.
 func (e *Engine) Start(pe *converse.PE) error {
-	return e.grp.Broadcast(pe, e.eStart, nil, 8)
+	return e.arr.Broadcast(pe, e.eStart, nil, 8)
 }
 
 // StartLocal begins an iteration for the calling PE's pencils only. Every
@@ -242,7 +250,7 @@ func (e *Engine) Forward() *Grid { return e.forward }
 func (e *Engine) RoundTripError() float64 {
 	worst := 0.0
 	for peID := 0; peID < e.rt.NumPEs(); peID++ {
-		p := e.grp.ElementOn(peID).(*pencils)
+		p := e.arr.Element(peID).(*pencils)
 		for i, v := range p.phaseZ {
 			d := v - p.orig[i]
 			if a := math.Hypot(real(d), imag(d)); a > worst {
@@ -338,7 +346,19 @@ func (e *Engine) buildM2M(mgr *m2m.Manager) error {
 	return nil
 }
 
-func (e *Engine) elem(pe int) *pencils { return e.grp.ElementOn(pe).(*pencils) }
+func (e *Engine) elem(idx int) *pencils { return e.arr.Element(idx).(*pencils) }
+
+// Array exposes the pencils chare array so the fault-tolerance layer can
+// protect it (checkpoint its elements and restore them after a failure).
+func (e *Engine) Array() *charm.Array { return e.arr }
+
+// PrepareRestart resets the engine's iteration bookkeeping to resume from
+// a checkpoint taken after iteration iter completed. Call at recovery
+// time, after every pencils element has been restored and before Start.
+func (e *Engine) PrepareRestart(iter int64) {
+	e.doneCount.Store(0)
+	e.iterations.Store(iter)
+}
 
 // ---------------------------------------------------------------------------
 // Block extraction (sender side)
@@ -457,7 +477,7 @@ func (p *pencils) sendStage(pe *converse.PE, st int) {
 }
 
 func (p *pencils) sendP2P(pe *converse.PE, dst, entry int, data []complex128) {
-	if err := p.eng.grp.Send(pe, dst, entry, &transposeMsg{src: p.pe, data: data}, 16*len(data)); err != nil {
+	if err := p.eng.arr.Send(pe, dst, entry, &transposeMsg{src: p.pe, data: data}, 16*len(data)); err != nil {
 		panic(fmt.Sprintf("fft3d: transpose send failed: %v", err))
 	}
 }
@@ -527,7 +547,7 @@ func (p *pencils) maybeAdvance(pe *converse.PE, st int) {
 		if f := e.onLocalComplete.Load(); f != nil {
 			f.(func(pe *converse.PE))(pe)
 		}
-		if err := e.grp.Send(pe, 0, e.eDone, nil, 8); err != nil {
+		if err := e.arr.Send(pe, 0, e.eDone, nil, 8); err != nil {
 			panic(fmt.Sprintf("fft3d: done send failed: %v", err))
 		}
 	}

@@ -1,0 +1,69 @@
+package ft
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"blueq/internal/charm"
+	"blueq/internal/converse"
+)
+
+// The enabled-but-idle overhead guard: fault tolerance must stay off the
+// hot path. Fig 5's intra-node ping-pong runs twice in-process — bare
+// runtime vs runtime with an ft.Manager attached (heartbeats flowing, no
+// checkpoints, no failures) — and the guarded run may not exceed the bare
+// run by more than 15%. Wall-clock comparisons are noisy on shared CI
+// runners, so each side takes the best of several trials and the test
+// only runs when FT_BENCH_GUARD is set (the bench-smoke job sets it).
+
+// pingPongLatency measures mean one-way latency between two PEs of the
+// same node (the Fig 5 configuration), best of trials.
+func pingPongLatency(t *testing.T, withFT bool, rounds, trials int) time.Duration {
+	t.Helper()
+	best := time.Duration(1<<62 - 1)
+	for trial := 0; trial < trials; trial++ {
+		rt, err := charm.NewRuntime(converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withFT {
+			New(rt, Config{}) // default knobs: the shipping configuration
+		}
+		m := rt.Machine()
+		var h int
+		var start time.Time
+		var elapsed time.Duration
+		h = m.RegisterHandler(func(pe *converse.PE, msg *converse.Message) {
+			n := msg.Payload.(int)
+			if n >= rounds {
+				elapsed = time.Since(start)
+				rt.Shutdown()
+				return
+			}
+			_ = pe.Send(pe.Id()^1, &converse.Message{Handler: h, Bytes: 32, Payload: n + 1})
+		})
+		rt.Run(func(pe *converse.PE) {
+			start = time.Now()
+			_ = pe.Send(1, &converse.Message{Handler: h, Bytes: 32, Payload: 0})
+		})
+		if lat := elapsed / time.Duration(rounds); lat < best {
+			best = lat
+		}
+	}
+	return best
+}
+
+func TestFig5PingPongFTIdleGuard(t *testing.T) {
+	if os.Getenv("FT_BENCH_GUARD") == "" {
+		t.Skip("wall-clock guard; set FT_BENCH_GUARD=1 to run (CI bench-smoke does)")
+	}
+	const rounds, trials = 4000, 5
+	bare := pingPongLatency(t, false, rounds, trials)
+	idle := pingPongLatency(t, true, rounds, trials)
+	t.Logf("fig5 ping-pong: bare %v, ft-idle %v (%+.1f%%)",
+		bare, idle, 100*(float64(idle)/float64(bare)-1))
+	if float64(idle) > 1.15*float64(bare) {
+		t.Fatalf("ft-idle ping-pong %v exceeds bare %v by more than 15%%", idle, bare)
+	}
+}

@@ -1,0 +1,293 @@
+package ft
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"blueq/internal/charm"
+	"blueq/internal/converse"
+	"blueq/internal/obs"
+)
+
+// The coordinated double in-memory checkpoint protocol. The application
+// calls Checkpoint from a quiescent point (typically an iteration
+// boundary, when no application messages are in flight). The initiator
+// assigns the next epoch and sends a pack request to every live PE over
+// an ordinary chare group — checkpoint traffic obeys the same scheduling
+// and epoch rules as everything else. Each PE then:
+//
+//  1. packs every protected element it homes and stores the blobs in its
+//     own node's store (the owner copy),
+//  2. ships the same batch to the first PE of its node's buddy — the next
+//     live node in ring order — which stores it as the buddy copy,
+//  3. both the packer and the buddy ack the leader.
+//
+// The epoch commits at the leader when 2 × livePEs acks arrive: at that
+// point every batch provably exists on two distinct nodes (or one node,
+// iff only one survives, when recovery is moot anyway). Older epochs are
+// garbage-collected at commit, so at most two epochs — committed and
+// in-progress — are ever resident, the double-buffer invariant of
+// FTC-Charm++. A failure mid-round aborts the round; recovery rolls back
+// to the last committed epoch, whose copies are untouched.
+
+// elemKey identifies one element's blob within an epoch store.
+type elemKey struct {
+	array string
+	idx   int
+}
+
+// epochStore holds one epoch's blobs on one node.
+type epochStore struct {
+	elems map[elemKey][]byte
+	app   []byte
+}
+
+// nodeStore is a node's in-memory checkpoint storage. Entry handlers on
+// the node's PEs write it; the recovery goroutine reads it. Stores on
+// nodes the machine has declared dead are treated as lost.
+type nodeStore struct {
+	mu     sync.Mutex
+	epochs map[uint64]*epochStore
+}
+
+func newNodeStore() *nodeStore {
+	return &nodeStore{epochs: make(map[uint64]*epochStore)}
+}
+
+func (s *nodeStore) epoch(e uint64) *epochStore {
+	st := s.epochs[e]
+	if st == nil {
+		st = &epochStore{elems: make(map[elemKey][]byte)}
+		s.epochs[e] = st
+	}
+	return st
+}
+
+func (s *nodeStore) put(e uint64, entries []ckptEntry, app []byte) {
+	s.mu.Lock()
+	st := s.epoch(e)
+	for _, en := range entries {
+		st.elems[elemKey{en.Array, en.Idx}] = en.Blob
+	}
+	if app != nil {
+		st.app = app
+	}
+	s.mu.Unlock()
+}
+
+func (s *nodeStore) get(e uint64, k elemKey) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.epochs[e]; st != nil {
+		return st.elems[k]
+	}
+	return nil
+}
+
+func (s *nodeStore) getApp(e uint64) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.epochs[e]; st != nil {
+		return st.app
+	}
+	return nil
+}
+
+func (s *nodeStore) gcBelow(e uint64) {
+	s.mu.Lock()
+	for old := range s.epochs {
+		if old < e {
+			delete(s.epochs, old)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// ckptEntry is one element's packed state in a batch.
+type ckptEntry struct {
+	Array string
+	Idx   int
+	Blob  []byte
+}
+
+// ckptMsg asks a PE to pack its homed elements for an epoch.
+type ckptMsg struct {
+	Epoch  uint64
+	Leader int
+	App    []byte
+}
+
+// buddyMsg carries a PE's batch to its buddy node.
+type buddyMsg struct {
+	Epoch  uint64
+	Leader int
+	Elems  []ckptEntry
+	App    []byte
+}
+
+// ackMsg reports one stored copy to the leader.
+type ackMsg struct{ Epoch uint64 }
+
+// ckptRound is the leader-side state of an in-progress epoch.
+type ckptRound struct {
+	epoch uint64
+	acks  int
+	need  int
+	cont  func(pe *converse.PE)
+}
+
+// registerGroup declares the coordination chare group and its entries.
+func (mgr *Manager) registerGroup() {
+	mgr.grp = mgr.rt.NewGroup("ft", func(pe int) charm.Element { return struct{}{} })
+	mgr.eCkpt = mgr.grp.Entry(func(pe *converse.PE, _ charm.Element, p any) { mgr.onCkpt(pe, p.(*ckptMsg)) })
+	mgr.eBuddy = mgr.grp.Entry(func(pe *converse.PE, _ charm.Element, p any) { mgr.onBuddy(pe, p.(*buddyMsg)) })
+	mgr.eAck = mgr.grp.Entry(func(pe *converse.PE, _ charm.Element, p any) { mgr.onAck(pe, p.(*ackMsg)) })
+}
+
+// CheckpointDue reports whether CheckpointInterval has elapsed since the
+// last committed epoch (or since startup). Always false when the interval
+// is zero: cadence is then fully application-driven.
+func (mgr *Manager) CheckpointDue() bool {
+	if mgr.cfg.CheckpointInterval <= 0 {
+		return false
+	}
+	return time.Now().UnixNano()-mgr.lastCkptNS.Load() >= mgr.cfg.CheckpointInterval.Nanoseconds()
+}
+
+// Checkpoint starts a coordinated checkpoint. Call from an entry method at
+// an application quiescent point — no protected-array messages may be in
+// flight. cont runs on the leader PE once the epoch commits; chain the
+// next phase of work there. Returns an error if a round is already in
+// progress (the caller's quiescence discipline is broken).
+func (mgr *Manager) Checkpoint(pe *converse.PE, cont func(pe *converse.PE)) error {
+	live := mgr.liveNodes()
+	leader := mgr.leaderPE()
+	mgr.ckptMu.Lock()
+	if mgr.round != nil {
+		mgr.ckptMu.Unlock()
+		return fmt.Errorf("ft: checkpoint epoch %d still in progress", mgr.round.epoch)
+	}
+	mgr.ckptSeq++
+	epoch := mgr.ckptSeq
+	mgr.round = &ckptRound{epoch: epoch, need: 2 * len(live) * mgr.wpn, cont: cont}
+	mgr.ckptMu.Unlock()
+
+	var app []byte
+	if pack, _ := mgr.appHooks(); pack != nil {
+		app = pack()
+	}
+	msg := &ckptMsg{Epoch: epoch, Leader: leader, App: app}
+	for _, r := range live {
+		for w := 0; w < mgr.wpn; w++ {
+			if err := mgr.grp.Send(pe, r*mgr.wpn+w, mgr.eCkpt, msg, 32+len(app)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// onCkpt runs on every live PE: pack, store locally, ship to buddy, ack.
+func (mgr *Manager) onCkpt(pe *converse.PE, m *ckptMsg) {
+	var batch []ckptEntry
+	bytes := 0
+	for _, a := range mgr.protectedArrays() {
+		for idx := 0; idx < a.Len(); idx++ {
+			if a.HomePE(idx) != pe.Id() {
+				continue
+			}
+			c, ok := a.Element(idx).(charm.Checkpointable)
+			if !ok {
+				panic(fmt.Sprintf("ft: array %q element %d (%T) is not Checkpointable",
+					a.Name(), idx, a.Element(idx)))
+			}
+			blob := c.PackCheckpoint()
+			batch = append(batch, ckptEntry{Array: a.Name(), Idx: idx, Blob: blob})
+			bytes += len(blob)
+		}
+	}
+	self := mgr.nodeOf(pe.Id())
+	mgr.stores[self].put(m.Epoch, batch, m.App)
+	if obs.On() {
+		obsCkptBytes.Add(pe.Id(), int64(bytes))
+	}
+
+	live := mgr.liveNodes()
+	buddy, err := mgr.buddyOf(self, live)
+	if err != nil {
+		buddy = self // degenerate single-node case
+	}
+	bm := &buddyMsg{Epoch: m.Epoch, Leader: m.Leader, Elems: batch, App: m.App}
+	_ = mgr.grp.Send(pe, buddy*mgr.wpn, mgr.eBuddy, bm, 32+bytes)
+	_ = mgr.grp.Send(pe, m.Leader, mgr.eAck, &ackMsg{Epoch: m.Epoch}, 16)
+}
+
+// onBuddy stores a remote PE's batch as this node's buddy copy and acks.
+func (mgr *Manager) onBuddy(pe *converse.PE, m *buddyMsg) {
+	mgr.stores[mgr.nodeOf(pe.Id())].put(m.Epoch, m.Elems, m.App)
+	_ = mgr.grp.Send(pe, m.Leader, mgr.eAck, &ackMsg{Epoch: m.Epoch}, 16)
+}
+
+// onAck counts stored copies at the leader and commits the epoch when
+// both copies of every live PE's batch exist.
+func (mgr *Manager) onAck(pe *converse.PE, m *ackMsg) {
+	var cont func(pe *converse.PE)
+	mgr.ckptMu.Lock()
+	r := mgr.round
+	if r != nil && r.epoch == m.Epoch {
+		r.acks++
+		if r.acks == r.need {
+			mgr.round = nil
+			mgr.committed.Store(r.epoch)
+			mgr.lastCkptNS.Store(time.Now().UnixNano())
+			mgr.checkpoints.Add(1)
+			if obs.On() {
+				obsCkptCommit.Inc(pe.Id())
+			}
+			for _, s := range mgr.stores {
+				s.gcBelow(r.epoch)
+			}
+			cont = r.cont
+		}
+	}
+	mgr.ckptMu.Unlock()
+	if cont != nil {
+		cont(pe)
+	}
+}
+
+// abortRound drops an in-progress round; its partial copies are swept at
+// the next commit's GC. Called by recovery before rolling back.
+func (mgr *Manager) abortRound() {
+	mgr.ckptMu.Lock()
+	mgr.round = nil
+	mgr.ckptMu.Unlock()
+}
+
+// findCopy locates a surviving copy of an element's blob at an epoch,
+// returning the blob and the node holding it.
+func (mgr *Manager) findCopy(k elemKey, epoch uint64) ([]byte, int) {
+	for r := 0; r < mgr.m.NumNodes(); r++ {
+		if mgr.m.NodeDead(r) {
+			continue
+		}
+		if blob := mgr.stores[r].get(epoch, k); blob != nil {
+			return blob, r
+		}
+	}
+	return nil, -1
+}
+
+// findApp locates a surviving copy of the application blob at an epoch.
+func (mgr *Manager) findApp(epoch uint64) []byte {
+	for r := 0; r < mgr.m.NumNodes(); r++ {
+		if mgr.m.NodeDead(r) {
+			continue
+		}
+		if app := mgr.stores[r].getApp(epoch); app != nil {
+			return app
+		}
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package ft
+
+import "blueq/internal/obs"
+
+// Observability instrumentation, guarded by obs.On() at every call site.
+// Heartbeat and suspicion counters shard by the observing node; the
+// confirmation/recovery family shards by the failed node, so a snapshot
+// with per-shard detail attributes each event to the node it concerns.
+var (
+	obsHeartbeat    = obs.NewCounter("ft", "heartbeats_sent_total", 0)
+	obsSuspicion    = obs.NewCounter("ft", "suspicions_total", 0)
+	obsConfirmation = obs.NewCounter("ft", "confirmations_total", 0)
+	obsDetectNS     = obs.NewHistogram("ft", "detect_latency_ns", 0)
+	obsCkptBytes    = obs.NewCounter("ft", "checkpoint_bytes_total", 0)
+	obsCkptCommit   = obs.NewCounter("ft", "checkpoints_committed_total", 0)
+	obsRecovery     = obs.NewCounter("ft", "recoveries_total", 0)
+	obsRestored     = obs.NewCounter("ft", "elements_restored_total", 0)
+	obsRecoveryNS   = obs.NewHistogram("ft", "recovery_ns", 0)
+)

@@ -1,0 +1,154 @@
+package ft
+
+import (
+	"fmt"
+	"time"
+
+	"blueq/internal/obs"
+)
+
+// Recovery: the sequence that turns a confirmed failure back into a
+// running computation. Called from the monitor goroutine, so at most one
+// recovery runs at a time.
+//
+//  1. Fail-stop the node for real: silence its transport endpoints (kill
+//     injection, if the backend supports it) and halt its schedulers, then
+//     wait for its last PE to exit — after the halted signal nothing on
+//     that node mutates runtime state.
+//  2. Wait for survivor quiescence: every live PE's enqueued == executed,
+//     unchanged across several samples, with nothing in flight inside the
+//     transport. The survivors are wedged — whatever they were doing needed
+//     the dead node — so this converges in a few heartbeat intervals.
+//  3. Abandon reliability channels to the dead node (retransmission to a
+//     silenced endpoint never succeeds) and abort any checkpoint round the
+//     failure interrupted.
+//  4. Bump the runtime epoch (charm.BeginRecovery): every message stamped
+//     before the failure — queued, buffered, or racing in a delay line —
+//     is now stale and drops at dispatch without executing. This is the
+//     replay-suppression half of the PR 2 dedup story, one level up.
+//  5. Roll back every protected element to the committed epoch from a
+//     surviving copy. Elements homed on the dead node re-home onto the
+//     first PE of the node holding their buddy copy — the same home-table
+//     path the load balancer migrates through — so the location tables are
+//     consistent before any new message routes.
+//  6. Hand the application blob to the restart hook on the leader PE;
+//     the application replays from the checkpointed cursor.
+func (mgr *Manager) recover(dead int) {
+	start := time.Now()
+	mgr.m.KillNode(dead)
+	select {
+	case <-mgr.m.NodeHalted(dead):
+	case <-mgr.stop:
+		return
+	}
+	if !mgr.waitSurvivorQuiescence() {
+		return // shutdown raced the recovery
+	}
+
+	client := mgr.m.PAMIClient()
+	for r := 0; r < mgr.m.NumNodes(); r++ {
+		if r != dead && !mgr.m.NodeDead(r) {
+			client.Node(r).DropPeer(dead)
+		}
+	}
+	mgr.dropped[dead].Store(true)
+	mgr.abortRound()
+
+	epoch := mgr.committed.Load()
+	if epoch == 0 {
+		// Nothing to roll back to; the application never checkpointed.
+		// Detection still counted — the caller can observe and bail.
+		return
+	}
+	mgr.rt.BeginRecovery()
+
+	restored := 0
+	for _, a := range mgr.protectedArrays() {
+		for idx := 0; idx < a.Len(); idx++ {
+			blob, holder := mgr.findCopy(elemKey{a.Name(), idx}, epoch)
+			if blob == nil {
+				panic(fmt.Sprintf("ft: no surviving copy of %s[%d] at epoch %d — double failure?",
+					a.Name(), idx, epoch))
+			}
+			home := a.HomePE(idx)
+			if mgr.m.NodeDead(mgr.nodeOf(home)) {
+				home = holder * mgr.wpn
+			}
+			if err := a.RestoreElement(idx, home, blob); err != nil {
+				panic(fmt.Sprintf("ft: restore %s[%d]: %v", a.Name(), idx, err))
+			}
+			restored++
+		}
+	}
+	mgr.restored.Add(int64(restored))
+	mgr.recoveries.Add(1)
+	if obs.On() {
+		obsRestored.Add(dead, int64(restored))
+		obsRecovery.Inc(dead)
+		obsRecoveryNS.Observe(dead, time.Since(start).Nanoseconds())
+	}
+
+	if _, restore := mgr.appHooks(); restore != nil {
+		restore(mgr.m.PE(mgr.leaderPE()), mgr.findApp(epoch))
+	}
+}
+
+// waitSurvivorQuiescence blocks until no live PE is executing or holding
+// work and the transport has nothing in flight, stable across several
+// consecutive samples. Returns false if the manager stops first; after
+// the bounded fallback it proceeds anyway (a wedged survivor is better
+// recovered optimistically than never).
+func (mgr *Manager) waitSurvivorQuiescence() bool {
+	const (
+		poll     = 2 * time.Millisecond
+		stableN  = 5
+		deadline = 2 * time.Second
+	)
+	type sample struct{ enq, exe int64 }
+	var prev []sample
+	stable := 0
+	limit := time.Now().Add(deadline)
+	for {
+		select {
+		case <-mgr.stop:
+			return false
+		case <-time.After(poll):
+		}
+		cur := make([]sample, 0, mgr.m.NumPEs())
+		quiet := !mgr.m.Transport().Pending()
+		for id := 0; id < mgr.m.NumPEs(); id++ {
+			if mgr.m.NodeDead(mgr.nodeOf(id)) {
+				continue
+			}
+			pe := mgr.m.PE(id)
+			s := sample{pe.Enqueued(), pe.Executed()}
+			if s.enq != s.exe {
+				quiet = false
+			}
+			cur = append(cur, s)
+		}
+		if quiet && prev != nil && len(prev) == len(cur) {
+			same := true
+			for i := range cur {
+				if cur[i] != prev[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				stable++
+				if stable >= stableN {
+					return true
+				}
+			} else {
+				stable = 0
+			}
+		} else {
+			stable = 0
+		}
+		prev = cur
+		if time.Now().After(limit) {
+			return !mgr.stopped.Load()
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package mdsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"blueq/internal/md"
+)
+
+// Checkpoint support for the patch element (charm.Checkpointable). A
+// checkpoint is taken between force evaluations, when the migrating atom
+// records plus the evaluation counter and priming flag are the whole
+// durable state; exchange buffers, coordinate caches and force scratch are
+// rebuilt by the next evaluation. Raw IEEE-754 bit patterns keep restored
+// trajectories bit-for-bit identical to uninterrupted ones.
+
+const atomRecBytes = 4 + 12*8 // id + pos/vel/f/recipF vectors
+
+// PackCheckpoint encodes the patch's atoms and evaluation cursor.
+func (p *patch) PackCheckpoint() []byte {
+	buf := make([]byte, 0, 16+atomRecBytes*len(p.atoms))
+	var scratch [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		buf = append(buf, scratch[:]...)
+	}
+	putVec := func(v md.Vec3) {
+		for _, c := range v {
+			putU64(math.Float64bits(c))
+		}
+	}
+	putU64(uint64(int64(p.curEval)))
+	flags := uint64(0)
+	if p.primed {
+		flags = 1
+	}
+	flags |= uint64(len(p.atoms)) << 1
+	putU64(flags)
+	for i := range p.atoms {
+		a := &p.atoms[i]
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(a.id))
+		buf = append(buf, scratch[:4]...)
+		putVec(a.pos)
+		putVec(a.vel)
+		putVec(a.f)
+		putVec(a.recipF)
+	}
+	return buf
+}
+
+// UnpackCheckpoint restores the atoms and evaluation cursor, clearing
+// every per-evaluation transient.
+func (p *patch) UnpackCheckpoint(data []byte) {
+	if len(data) < 16 {
+		panic(fmt.Sprintf("mdsim: checkpoint blob too short (%d bytes)", len(data)))
+	}
+	off := 0
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v
+	}
+	vec := func() md.Vec3 {
+		var v md.Vec3
+		for i := range v {
+			v[i] = math.Float64frombits(u64())
+		}
+		return v
+	}
+	p.curEval = int(int64(u64()))
+	flags := u64()
+	p.primed = flags&1 != 0
+	n := int(flags >> 1)
+	if len(data) != 16+atomRecBytes*n {
+		panic(fmt.Sprintf("mdsim: checkpoint blob is %d bytes, want %d for %d atoms",
+			len(data), 16+atomRecBytes*n, n))
+	}
+	p.atoms = make([]atomRec, n)
+	for i := range p.atoms {
+		a := &p.atoms[i]
+		a.id = int32(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		a.pos = vec()
+		a.vel = vec()
+		a.f = vec()
+		a.recipF = vec()
+	}
+	p.exchRecv = 0
+	p.pending = nil
+	p.cache = nil
+	p.ownSet = nil
+	p.newF = nil
+	p.nbDone = false
+	p.pmePending = false
+}

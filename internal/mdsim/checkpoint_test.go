@@ -1,0 +1,78 @@
+package mdsim
+
+import (
+	"reflect"
+	"testing"
+
+	"blueq/internal/md"
+)
+
+// TestPatchCheckpointRoundtrip packs a populated patch and unpacks it into
+// a fresh one carrying stale transients, asserting the durable state comes
+// back bit-for-bit and every transient is reset.
+func TestPatchCheckpointRoundtrip(t *testing.T) {
+	src := &patch{
+		atoms: []atomRec{
+			{id: 3, pos: md.Vec3{1.5, -2.25, 3.125}, vel: md.Vec3{0.1, 0.2, -0.3},
+				f: md.Vec3{-4, 5, 6}, recipF: md.Vec3{0.01, -0.02, 0.03}},
+			{id: 17, pos: md.Vec3{-7.5, 8.0, -9.75}, vel: md.Vec3{1e-9, -1e9, 0},
+				f: md.Vec3{0, 0, 0}, recipF: md.Vec3{2.5, 2.5, 2.5}},
+		},
+		curEval: 42,
+		primed:  true,
+	}
+	blob := src.PackCheckpoint()
+	want := 16 + atomRecBytes*len(src.atoms)
+	if len(blob) != want {
+		t.Fatalf("blob length %d, want %d", len(blob), want)
+	}
+
+	dst := &patch{
+		atoms:      []atomRec{{id: 99}},
+		curEval:    -1,
+		exchRecv:   5,
+		pending:    []*exchangeMsg{{}},
+		cache:      []idPos{{id: 1}},
+		ownSet:     map[int32]int{1: 0},
+		newF:       []md.Vec3{{1, 1, 1}},
+		nbDone:     true,
+		pmePending: true,
+	}
+	dst.UnpackCheckpoint(blob)
+
+	if !reflect.DeepEqual(dst.atoms, src.atoms) {
+		t.Errorf("atoms differ after roundtrip:\n got %+v\nwant %+v", dst.atoms, src.atoms)
+	}
+	if dst.curEval != src.curEval || dst.primed != src.primed {
+		t.Errorf("cursor state: got curEval=%d primed=%v, want %d/%v",
+			dst.curEval, dst.primed, src.curEval, src.primed)
+	}
+	if dst.exchRecv != 0 || dst.pending != nil || dst.cache != nil ||
+		dst.ownSet != nil || dst.newF != nil || dst.nbDone || dst.pmePending {
+		t.Errorf("transients not reset: %+v", dst)
+	}
+
+	// Mutating the blob must not alias restored state.
+	for i := range blob {
+		blob[i] = 0xff
+	}
+	if dst.atoms[0].id != 3 {
+		t.Errorf("restored atoms alias the checkpoint blob")
+	}
+}
+
+// TestPatchCheckpointBadBlob verifies truncated blobs are rejected loudly.
+func TestPatchCheckpointBadBlob(t *testing.T) {
+	p := &patch{atoms: []atomRec{{id: 1}}, curEval: 0}
+	blob := p.PackCheckpoint()
+	for _, n := range []int{0, 8, len(blob) - 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("UnpackCheckpoint accepted %d-byte blob", n)
+				}
+			}()
+			(&patch{}).UnpackCheckpoint(blob[:n])
+		}()
+	}
+}

@@ -288,6 +288,36 @@ func (r *reliator) onAck(from int, cum uint64) {
 	}
 }
 
+// dropPeer abandons the send channel to a peer declared failed: pending
+// retransmissions to a silenced endpoint can never be acknowledged, so
+// the window is cleared and its timer cancelled. The channel state stays
+// registered; a straggler send would re-arm it harmlessly.
+func (r *reliator) dropPeer(dstNode int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.send[dstNode]
+	if st == nil {
+		return
+	}
+	for seq := range st.unacked {
+		delete(st.unacked, seq)
+	}
+	st.backoff = 0
+	if st.timer != nil {
+		st.timer.Stop()
+		st.timer = nil
+	}
+}
+
+// DropPeer abandons reliable delivery to a failed peer (no-op when the
+// transport is reliable). The fault-tolerance layer calls it on every
+// survivor once a failure is confirmed.
+func (n *Node) DropPeer(dstNode int) {
+	if n.rel != nil {
+		n.rel.dropPeer(dstNode)
+	}
+}
+
 // shutdown cancels pending retransmission timers; called when the machine
 // above tears down while packets are still in flight.
 func (r *reliator) shutdown() {

@@ -28,6 +28,17 @@ type FaultConfig struct {
 	DelayRate float64
 	// DelayMax bounds injected delays; 0 selects 200µs.
 	DelayMax time.Duration
+	// Kills schedules fail-stop events: each event silences a node rank a
+	// fixed duration after the transport is built. Kills are orthogonal to
+	// the packet-level rates and do not flip Reliable() — a dead node is a
+	// fault-tolerance event, not a lossy-channel event.
+	Kills []KillEvent
+}
+
+// KillEvent fail-stops one node at a fixed offset from transport start.
+type KillEvent struct {
+	Rank  int
+	After time.Duration
 }
 
 // Faulty wraps an inner transport with seeded fault injection: packets are
@@ -48,6 +59,12 @@ type Faulty struct {
 	dropped    atomic.Int64
 	duplicated atomic.Int64
 	delayed    atomic.Int64
+
+	killed      []atomic.Bool
+	killHook    atomic.Value // func(rank int)
+	killTimers  []*time.Timer
+	killedNodes atomic.Int64
+	killedDrops atomic.Int64
 }
 
 // NewFaulty wraps inner with fault injection.
@@ -59,19 +76,59 @@ func NewFaulty(inner Transport, cfg FaultConfig) *Faulty {
 		cfg.DelayMax = 200 * time.Microsecond
 	}
 	t := &Faulty{
-		inner: inner,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		inner:  inner,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		killed: make([]atomic.Bool, inner.Nodes()),
 	}
 	t.dl = newDelayLine(func(src int, p torus.Packet) {
+		// A packet in flight toward (or from) a node that died while it was
+		// on the wire is lost with the node.
+		if t.killed[src].Load() || t.killed[p.Dst].Load() {
+			t.killedDrops.Add(1)
+			if obs.On() {
+				obsKillDrop.Inc(src)
+			}
+			return
+		}
 		_ = inner.Endpoint(src).Inject(p)
 	})
 	t.eps = make([]Endpoint, inner.Nodes())
 	for r := range t.eps {
 		t.eps[r] = &faultyEndpoint{t: t, inner: inner.Endpoint(r)}
 	}
+	for _, k := range cfg.Kills {
+		rank := k.Rank
+		t.killTimers = append(t.killTimers, time.AfterFunc(k.After, func() { t.KillNode(rank) }))
+	}
 	return t
 }
+
+// KillNode fail-stops the node: every packet from it, to it, or in flight
+// toward it is discarded from now on. Idempotent. Implements Killer.
+func (t *Faulty) KillNode(rank int) {
+	if rank < 0 || rank >= len(t.killed) || !t.killed[rank].CompareAndSwap(false, true) {
+		return
+	}
+	t.killedNodes.Add(1)
+	if obs.On() {
+		obsKillNode.Inc(rank)
+	}
+	if hook, ok := t.killHook.Load().(func(int)); ok && hook != nil {
+		hook(rank)
+	}
+}
+
+// NodeKilled reports whether the node has been fail-stopped. Implements
+// Killer.
+func (t *Faulty) NodeKilled(rank int) bool {
+	return rank >= 0 && rank < len(t.killed) && t.killed[rank].Load()
+}
+
+// SetKillHook registers the node-death callback. Implements Killer.
+func (t *Faulty) SetKillHook(hook func(rank int)) { t.killHook.Store(hook) }
+
+var _ Killer = (*Faulty)(nil)
 
 // Nodes returns the number of node endpoints.
 func (t *Faulty) Nodes() int { return t.inner.Nodes() }
@@ -101,11 +158,17 @@ func (t *Faulty) Stats() Stats {
 	s.Dropped += t.dropped.Load()
 	s.Duplicated += t.duplicated.Load()
 	s.Delayed += t.delayed.Load()
+	s.KilledNodes = t.killedNodes.Load()
+	s.KilledDrops = t.killedDrops.Load()
 	return s
 }
 
-// Close stops the delivery goroutine; delayed packets are dropped.
+// Close stops the delivery goroutine and any pending kill timers; delayed
+// packets are dropped.
 func (t *Faulty) Close() {
+	for _, tm := range t.killTimers {
+		tm.Stop()
+	}
 	t.dl.close()
 	t.inner.Close()
 }
@@ -125,16 +188,37 @@ type faultyEndpoint struct {
 func (e *faultyEndpoint) Rank() int                            { return e.inner.Rank() }
 func (e *faultyEndpoint) FIFOCount() int                       { return e.inner.FIFOCount() }
 func (e *faultyEndpoint) SetArrivalHook(fifo int, hook func()) { e.inner.SetArrivalHook(fifo, hook) }
-func (e *faultyEndpoint) Poll(fifo int) (torus.Packet, bool)   { return e.inner.Poll(fifo) }
-func (e *faultyEndpoint) Pending() bool                        { return e.inner.Pending() }
+
+// Poll and Pending go silent once the node is dead: whatever sat in its
+// reception FIFOs died with it.
+func (e *faultyEndpoint) Poll(fifo int) (torus.Packet, bool) {
+	if e.t.killed[e.inner.Rank()].Load() {
+		return torus.Packet{}, false
+	}
+	return e.inner.Poll(fifo)
+}
+
+func (e *faultyEndpoint) Pending() bool {
+	if e.t.killed[e.inner.Rank()].Load() {
+		return false
+	}
+	return e.inner.Pending()
+}
 
 func (e *faultyEndpoint) Inject(p torus.Packet) error {
 	t := e.t
 	if p.Dst < 0 || p.Dst >= t.Nodes() {
 		return fmt.Errorf("transport: destination rank %d out of range [0,%d)", p.Dst, t.Nodes())
 	}
-	t.injected.Add(1)
 	src := e.inner.Rank()
+	if t.killed[src].Load() || t.killed[p.Dst].Load() {
+		t.killedDrops.Add(1)
+		if obs.On() {
+			obsKillDrop.Inc(src)
+		}
+		return nil
+	}
+	t.injected.Add(1)
 
 	t.mu.Lock()
 	drop := t.rng.Float64() < t.cfg.DropRate

@@ -12,4 +12,6 @@ var (
 	obsFaultDelay        = obs.NewCounter("transport", "faulty_delay_total", 0)
 	obsContentionStalled = obs.NewCounter("transport", "contention_stalled_total", 0)
 	obsContentionStallNS = obs.NewCounter("transport", "contention_stall_ns_total", 0)
+	obsKillNode          = obs.NewCounter("transport", "faulty_killed_nodes_total", 0)
+	obsKillDrop          = obs.NewCounter("transport", "faulty_killed_drop_total", 0)
 )

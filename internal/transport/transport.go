@@ -59,6 +59,23 @@ type Endpoint interface {
 // The inproc endpoint is the MU itself, with zero behaviour change.
 var _ Endpoint = (*torus.MU)(nil)
 
+// Killer is the optional fail-stop control surface of a transport. A
+// backend that implements it can silence a node mid-run: once killed, the
+// node's endpoint neither injects nor receives — packets from it, to it,
+// and already in flight toward it vanish, exactly like powering off a BG/Q
+// node board. The faulty backend implements Killer; the fault-tolerance
+// layer (internal/ft) detects the resulting silence via heartbeats.
+type Killer interface {
+	// KillNode marks the node dead. Idempotent; safe from any goroutine.
+	KillNode(rank int)
+	// NodeKilled reports whether the node has been killed.
+	NodeKilled(rank int) bool
+	// SetKillHook registers a callback invoked (once per node, from the
+	// killing goroutine) when a node dies, so the runtime above can halt
+	// the node's schedulers. Must be set before traffic starts.
+	SetKillHook(hook func(rank int))
+}
+
 // Stats counts transport-level events. Wrapper backends add their own
 // events on top of the inner transport's delivery counts.
 type Stats struct {
@@ -76,6 +93,11 @@ type Stats struct {
 	// StallNS is the cumulative wall-clock time packets spent queued
 	// behind other packets on contended links.
 	StallNS int64
+	// KilledNodes counts nodes killed by fail-stop injection.
+	KilledNodes int64
+	// KilledDrops counts packets discarded because their source or
+	// destination node was dead.
+	KilledDrops int64
 }
 
 // Transport is a pluggable messaging substrate spanning all simulated
@@ -114,12 +136,14 @@ type Transport interface {
 //
 //	inproc
 //	contended[:scale=F]
-//	faulty[:seed=N,drop=F,dup=F,delayrate=F,delaymax=DUR,scale=F]
+//	faulty[:seed=N,drop=F,dup=F,delayrate=F,delaymax=DUR,scale=F,kill=R@DUR]
 //
 // Rates are probabilities in [0,1]; delaymax takes time.ParseDuration
 // syntax; scale multiplies the contended backend's modelled link delays
 // into wall-clock delays (faulty accepts it to wrap contended underneath).
-// An empty spec selects inproc.
+// kill=R@DUR fail-stops node rank R DUR after the transport is built;
+// multiple kills join with '+' (kill=2@300ms+3@1s) since option keys are
+// unique. An empty spec selects inproc.
 func New(spec string, nodes, fifosPerNode int) (Transport, error) {
 	name := spec
 	var opts string
@@ -179,6 +203,10 @@ func New(spec string, nodes, fifosPerNode int) (Transport, error) {
 				if scale, err = strconv.ParseFloat(v, 64); err != nil {
 					return nil, fmt.Errorf("transport %q: scale: %w", spec, err)
 				}
+			case "kill":
+				if cfg.Kills, err = parseKills(v, nodes); err != nil {
+					return nil, fmt.Errorf("transport %q: kill: %w", spec, err)
+				}
 			default:
 				return nil, fmt.Errorf("transport %q: unknown option %q", spec, k)
 			}
@@ -191,6 +219,56 @@ func New(spec string, nodes, fifosPerNode int) (Transport, error) {
 	default:
 		return nil, fmt.Errorf("transport %q: unknown backend (want inproc, contended or faulty)", spec)
 	}
+}
+
+// parseKills decodes a '+'-joined list of R@DUR fail-stop events.
+func parseKills(v string, nodes int) ([]KillEvent, error) {
+	var kills []KillEvent
+	for _, part := range strings.Split(v, "+") {
+		rs, ds, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("malformed kill %q (want rank@duration)", part)
+		}
+		rank, err := strconv.Atoi(rs)
+		if err != nil {
+			return nil, fmt.Errorf("kill rank %q: %w", rs, err)
+		}
+		if rank < 0 || rank >= nodes {
+			return nil, fmt.Errorf("kill rank %d out of range [0,%d)", rank, nodes)
+		}
+		after, err := time.ParseDuration(ds)
+		if err != nil {
+			return nil, fmt.Errorf("kill time %q: %w", ds, err)
+		}
+		kills = append(kills, KillEvent{Rank: rank, After: after})
+	}
+	return kills, nil
+}
+
+// WithSeed returns spec with its seed option forced to the given value, so
+// a CLI -seed flag can make any faulty run reproducible without editing the
+// spec string by hand. Non-faulty specs are returned unchanged.
+func WithSeed(spec string, seed int64) string {
+	name, opts, _ := strings.Cut(spec, ":")
+	if name != "faulty" {
+		return spec
+	}
+	seedOpt := "seed=" + strconv.FormatInt(seed, 10)
+	if opts == "" {
+		return name + ":" + seedOpt
+	}
+	parts := strings.Split(opts, ",")
+	replaced := false
+	for i, p := range parts {
+		if strings.HasPrefix(p, "seed=") {
+			parts[i] = seedOpt
+			replaced = true
+		}
+	}
+	if !replaced {
+		parts = append(parts, seedOpt)
+	}
+	return name + ":" + strings.Join(parts, ",")
 }
 
 func parseOpts(opts string) (map[string]string, error) {

@@ -239,3 +239,147 @@ func TestCloseDropsInFlight(t *testing.T) {
 		t.Fatalf("packet delivered after Close: %v", got)
 	}
 }
+
+func TestKillSpecParsing(t *testing.T) {
+	tr, err := New("faulty:seed=5,kill=1@1h", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	k, ok := tr.(Killer)
+	if !ok {
+		t.Fatal("faulty transport does not implement Killer")
+	}
+	if k.NodeKilled(1) {
+		t.Fatal("kill scheduled an hour out fired immediately")
+	}
+	for _, spec := range []string{
+		"faulty:kill=1", "faulty:kill=@1s", "faulty:kill=x@1s",
+		"faulty:kill=1@soon", "faulty:kill=7@1s", "faulty:kill=-1@1s",
+	} {
+		if tr, err := New(spec, 2, 1); err == nil {
+			tr.Close()
+			t.Errorf("New(%q) accepted, want error", spec)
+		}
+	}
+	// Multi-kill specs join with '+'.
+	multi, err := New("faulty:kill=0@1h+1@2h", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi.Close()
+}
+
+func TestKillNodeSilencesBothDirections(t *testing.T) {
+	tr, err := New("faulty:seed=9", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	k := tr.(Killer)
+	var hooked []int
+	k.SetKillHook(func(rank int) { hooked = append(hooked, rank) })
+
+	send := func(src, dst int) {
+		t.Helper()
+		if err := tr.Endpoint(src).Inject(torus.Packet{Type: torus.MemoryFIFO, Dst: dst, Bytes: 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(0, 2)
+	drain(t, tr)
+	if got := pollAll(tr.Endpoint(2)); len(got) != 1 {
+		t.Fatalf("pre-kill delivery failed: %d packets", len(got))
+	}
+
+	k.KillNode(2)
+	k.KillNode(2) // idempotent: hook must fire once
+	if !k.NodeKilled(2) || k.NodeKilled(1) {
+		t.Fatal("NodeKilled state wrong")
+	}
+	if len(hooked) != 1 || hooked[0] != 2 {
+		t.Fatalf("kill hook fired %v, want [2]", hooked)
+	}
+
+	send(0, 2) // toward the dead node: dropped
+	send(2, 0) // from the dead node: dropped
+	drain(t, tr)
+	if got := pollAll(tr.Endpoint(0)); len(got) != 0 {
+		t.Fatalf("dead node's packet delivered: %v", got)
+	}
+	s := tr.Stats()
+	if s.KilledNodes != 1 || s.KilledDrops != 2 {
+		t.Fatalf("stats = %+v, want KilledNodes=1 KilledDrops=2", s)
+	}
+	// Packets already sitting in the dead node's FIFOs are gone too.
+	if tr.Endpoint(2).Pending() {
+		t.Fatal("dead endpoint reports pending packets")
+	}
+	if _, ok := tr.Endpoint(2).Poll(0); ok {
+		t.Fatal("dead endpoint polled a packet")
+	}
+}
+
+func TestKillDropsInFlightPackets(t *testing.T) {
+	tr, err := New("faulty:delayrate=1,delaymax=20ms", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	k := tr.(Killer)
+	if err := tr.Endpoint(0).Inject(torus.Packet{Type: torus.MemoryFIFO, Dst: 1, Bytes: 8}); err != nil {
+		t.Fatal(err)
+	}
+	k.KillNode(1) // dies while the packet is on the wire
+	drain(t, tr)
+	if got := pollAll(tr.Endpoint(1)); len(got) != 0 {
+		t.Fatalf("in-flight packet survived the kill: %v", got)
+	}
+	if s := tr.Stats(); s.KilledDrops == 0 {
+		t.Fatalf("in-flight drop not accounted: %+v", s)
+	}
+}
+
+func TestKillTimerFires(t *testing.T) {
+	tr, err := New("faulty:kill=1@5ms", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	k := tr.(Killer)
+	fired := make(chan int, 1)
+	k.SetKillHook(func(rank int) { fired <- rank })
+	select {
+	case rank := <-fired:
+		if rank != 1 || !k.NodeKilled(1) {
+			t.Fatalf("kill fired for rank %d, killed(1)=%v", rank, k.NodeKilled(1))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("scheduled kill never fired")
+	}
+}
+
+func TestWithSeed(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"inproc", "inproc"},
+		{"contended:scale=2", "contended:scale=2"},
+		{"faulty", "faulty:seed=9"},
+		{"faulty:drop=0.1", "faulty:drop=0.1,seed=9"},
+		{"faulty:seed=1,drop=0.1", "faulty:seed=9,drop=0.1"},
+		{"faulty:drop=0.1,seed=1,kill=1@1s", "faulty:drop=0.1,seed=9,kill=1@1s"},
+	}
+	for _, tc := range cases {
+		if got := WithSeed(tc.spec, 9); got != tc.want {
+			t.Errorf("WithSeed(%q, 9) = %q, want %q", tc.spec, got, tc.want)
+		}
+	}
+	// Every rewritten spec must still parse.
+	for _, tc := range cases {
+		tr, err := New(WithSeed(tc.spec, 9), 2, 1)
+		if err != nil {
+			t.Errorf("WithSeed(%q) produced unparseable spec: %v", tc.spec, err)
+			continue
+		}
+		tr.Close()
+	}
+}
