@@ -19,6 +19,7 @@ import (
 	"blueq/internal/cluster"
 	"blueq/internal/converse"
 	"blueq/internal/fft3d"
+	"blueq/internal/flowctl"
 	"blueq/internal/m2m"
 	"blueq/internal/md"
 	"blueq/internal/mdsim"
@@ -113,6 +114,47 @@ func BenchmarkFig5PingPongIntraNode(b *testing.B) {
 				}
 			})
 			<-done
+		})
+	}
+}
+
+// The same intra-node ping-pong with credit-based flow control armed. On
+// an uncontended machine the credits must be invisible — intra-node sends
+// never touch a window, and the only added fast-path cost is the
+// predicated fc != nil branch (the obs.On() pattern). The acceptance bar:
+// within 10% of BenchmarkFig5PingPongIntraNode.
+func BenchmarkFig5PingPongIntraNodeFlow(b *testing.B) {
+	for _, mode := range []converse.Mode{converse.ModeSMP, converse.ModeSMPComm} {
+		b.Run(mode.String(), func(b *testing.B) {
+			machine, err := converse.NewMachine(converse.Config{
+				Nodes: 1, WorkersPerNode: 2, Mode: mode, FlowControl: &flowctl.Config{},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var h int
+			done := make(chan struct{})
+			rounds := b.N
+			h = machine.RegisterHandler(func(pe *converse.PE, msg *converse.Message) {
+				n := msg.Payload.(int)
+				if n >= rounds {
+					machine.Shutdown()
+					close(done)
+					return
+				}
+				_ = pe.Send(1-pe.Id(), &converse.Message{Handler: h, Bytes: 32, Payload: n + 1})
+			})
+			b.ResetTimer()
+			machine.Run(func(pe *converse.PE) {
+				if pe.Id() == 0 {
+					_ = pe.Send(1, &converse.Message{Handler: h, Bytes: 32, Payload: 0})
+				}
+			})
+			<-done
+			if fc := machine.FlowController(); fc.BlockedTotal() != 0 || fc.ShedCount() != 0 {
+				b.Fatalf("uncontended ping-pong parked %d / shed %d — flow control interfered",
+					fc.BlockedTotal(), fc.ShedCount())
+			}
 		})
 	}
 }

@@ -40,8 +40,9 @@ type ftRunResult struct {
 }
 
 // ftRun drives one FFT run; every > 0 checkpoints each multiple of that
-// iteration count, kill selects whether the fail-stop is injected.
-func ftRun(seed int64, every int, kill bool) ftRunResult {
+// iteration count, kill selects whether the fail-stop is injected. det
+// carries the detector tuning from the -phi / -suspect-after flags.
+func ftRun(seed int64, every int, kill bool, det ft.Config) ftRunResult {
 	const nodes = 4
 	spec := transport.WithSeed("faulty", seed)
 	tr, err := transport.New(spec, nodes, 1)
@@ -54,10 +55,7 @@ func ftRun(seed int64, every int, kill bool) ftRunResult {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mgr := ft.New(rt, ft.Config{
-		HeartbeatInterval: time.Millisecond,
-		SuspectAfter:      12 * time.Millisecond,
-	})
+	mgr := ft.New(rt, det)
 	eng, err := fft3d.New(rt, nil, fft3d.Config{
 		NX: 16, NY: 16, NZ: 16, Transport: fft3d.P2P,
 		Input: func(x, y, z int) complex128 {
@@ -146,15 +144,15 @@ func ftRun(seed int64, every int, kill bool) ftRunResult {
 
 // ftRecovery prints the recovery-correctness check and the recovery-time
 // vs checkpoint-interval table behind EXPERIMENTS.md.
-func ftRecovery(seed int64) {
-	ref := ftRun(seed, 1, false)
+func ftRecovery(seed int64, det ft.Config) {
+	ref := ftRun(seed, 1, false, det)
 	fmt.Printf("reference run: %d iterations, %d checkpoints, no failures (%.1f ms)\n",
 		ftIters, ref.stats.Checkpoints, float64(ref.elapsed.Microseconds())/1e3)
 	fmt.Printf("%-22s %12s %10s %12s %12s %10s\n",
 		"checkpoint cadence", "recover ms", "replayed", "detections", "restored", "bitwise")
 	allOK := true
 	for _, every := range []int{1, 2, 4} {
-		got := ftRun(seed, every, true)
+		got := ftRun(seed, every, true, det)
 		match := "ok"
 		if got.killFailed {
 			match = "NO-RECOVERY"

@@ -13,9 +13,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"blueq/internal/cluster"
 	"blueq/internal/converse"
+	"blueq/internal/flowctl"
+	"blueq/internal/ft"
 	"blueq/internal/mempool"
 	"blueq/internal/obs"
 	"blueq/internal/trace"
@@ -33,15 +36,29 @@ func main() {
 		"transport for the native run: inproc, contended[:scale=F], faulty[:seed=N,drop=F,dup=F,...]")
 	seed := flag.Int64("seed", 0, "seed for faulty-transport and kill-event runs (overrides any seed= in -transport)")
 	only := flag.String("only", "", "run a single section by key (ft) instead of the full suite")
+	phi := flag.Float64("phi", 0, "detector PhiFactor: adaptive suspicion threshold scale (0 = default)")
+	suspectAfter := flag.Duration("suspect-after", 12*time.Millisecond, "detector silence floor before suspecting a peer")
+	flow := flag.Bool("flow", false, "arm credit-based flow control on the native obs run")
+	fcWindow := flag.Int("fc-window", 0, "flow-control credit window per (src,dst) node pair (0 = default)")
+	fcOverflowCap := flag.Int("fc-overflow-cap", 0, "flow-control cap on the lockless overflow queue (0 = default)")
 	flag.Parse()
 	if *seed != 0 {
 		*spec = transport.WithSeed(*spec, *seed)
+	}
+	det := ft.Config{
+		HeartbeatInterval: time.Millisecond,
+		SuspectAfter:      *suspectAfter,
+		PhiFactor:         *phi,
+	}
+	var fcc *flowctl.Config
+	if *flow || *fcWindow > 0 || *fcOverflowCap > 0 {
+		fcc = &flowctl.Config{Window: *fcWindow, OverflowCap: *fcOverflowCap}
 	}
 	if *only != "" {
 		switch *only {
 		case "ft":
 			section("E14: PE failure mid-3D-FFT — detect, restore, replay (internal/ft)")
-			ftRecovery(*seed)
+			ftRecovery(*seed, det)
 		default:
 			log.Fatalf("unknown -only section %q (want ft)", *only)
 		}
@@ -120,17 +137,17 @@ func main() {
 
 	if *metricsPath != "" {
 		section("E13: native runtime observability (internal/obs)")
-		nativeObservability(*metricsPath, *spec)
+		nativeObservability(*metricsPath, *spec, fcc)
 	}
 
 	section("E14: PE failure mid-3D-FFT — detect, restore, replay (internal/ft)")
-	ftRecovery(*seed)
+	ftRecovery(*seed, det)
 }
 
 // nativeObservability enables the obs instrumentation, drives the native
 // runtime's hot paths (lockless scheduler queues, the pool allocator, the
 // send→deliver latency span), and writes the registry snapshot as JSON.
-func nativeObservability(path, spec string) {
+func nativeObservability(path, spec string, fcc *flowctl.Config) {
 	obs.SetEnabled(true)
 	defer obs.SetEnabled(false)
 
@@ -144,7 +161,7 @@ func nativeObservability(path, spec string) {
 		log.Fatal(err)
 	}
 	defer tr.Close()
-	machine, err := converse.NewMachine(converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP, Transport: tr})
+	machine, err := converse.NewMachine(converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP, Transport: tr, FlowControl: fcc})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 
 	"blueq/internal/cluster"
 	"blueq/internal/converse"
+	"blueq/internal/flowctl"
 	"blueq/internal/transport"
 )
 
@@ -28,9 +29,16 @@ func main() {
 		"native transport: inproc, contended[:scale=F], faulty[:seed=N,drop=F,dup=F,delayrate=F,delaymax=D]")
 	verify := flag.Bool("verify", false, "assert exactly-once delivery and print transport stats")
 	seed := flag.Int64("seed", 0, "seed for a faulty -transport spec (overrides any seed= in the spec)")
+	flow := flag.Bool("flow", false, "arm credit-based flow control on the native run")
+	fcWindow := flag.Int("fc-window", 0, "flow-control credit window per (src,dst) node pair (0 = default)")
+	fcOverflowCap := flag.Int("fc-overflow-cap", 0, "flow-control cap on the lockless overflow queue (0 = default)")
 	flag.Parse()
 	if *seed != 0 {
 		*spec = transport.WithSeed(*spec, *seed)
+	}
+	var fcc *flowctl.Config
+	if *flow || *fcWindow > 0 || *fcOverflowCap > 0 {
+		fcc = &flowctl.Config{Window: *fcWindow, OverflowCap: *fcOverflowCap}
 	}
 
 	m := cluster.BGQ()
@@ -41,7 +49,7 @@ func main() {
 		fmt.Printf("native in-process ping-pong over %q (wall clock, host-dependent):\n", *spec)
 		ok := true
 		for _, mode := range []converse.Mode{converse.ModeNonSMP, converse.ModeSMP, converse.ModeSMPComm} {
-			res, err := nativePingPong(mode, *rounds, *spec)
+			res, err := nativePingPong(mode, *rounds, *spec, fcc)
 			if err != nil {
 				fmt.Println("  error:", err)
 				ok = false
@@ -76,14 +84,14 @@ type pingResult struct {
 
 // nativePingPong bounces a message between PEs on two simulated nodes and
 // returns the mean one-way latency plus delivery accounting.
-func nativePingPong(mode converse.Mode, rounds int, spec string) (pingResult, error) {
+func nativePingPong(mode converse.Mode, rounds int, spec string, fcc *flowctl.Config) (pingResult, error) {
 	workers := 2
 	tr, err := transport.New(spec, 2, workers)
 	if err != nil {
 		return pingResult{}, err
 	}
 	defer tr.Close()
-	cfg := converse.Config{Nodes: 2, WorkersPerNode: workers, Mode: mode, Transport: tr}
+	cfg := converse.Config{Nodes: 2, WorkersPerNode: workers, Mode: mode, Transport: tr, FlowControl: fcc}
 	machine, err := converse.NewMachine(cfg)
 	if err != nil {
 		return pingResult{}, err

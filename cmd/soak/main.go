@@ -1,0 +1,494 @@
+// Command soak is the chaos soak harness for the flow-control and
+// overload-protection layer: it drives real workloads (a flood with a
+// deliberately slowed consumer, the 3D FFT, the mini-NAMD MD step) over
+// hostile transports (faulty: drops/dups, contended: link stalls) for a
+// wall-clock budget and asserts the three saturation properties the
+// runtime promises:
+//
+//  1. bounded memory — the resident scheduler backlog and the reorder
+//     buffer never exceed the configured caps, no matter how far the
+//     consumer lags;
+//  2. exactly-once — every reliable message executes exactly once despite
+//     drops, duplicates and backpressure parking;
+//  3. forward progress — throughput never collapses to zero (parking is
+//     bounded by MaxBlock; the ladder degrades, it does not deadlock).
+//
+// -sweep switches to the saturation study behind EXPERIMENTS.md: offered
+// load is stepped across the slowed consumer's capacity and the achieved
+// throughput is tabulated, making the knee visible.
+//
+// Exit status is non-zero if any property fails — CI runs this for 20 s
+// per transport.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blueq/internal/charm"
+	"blueq/internal/converse"
+	"blueq/internal/fft3d"
+	"blueq/internal/flowctl"
+	"blueq/internal/lockless"
+	"blueq/internal/md"
+	"blueq/internal/mdsim"
+	"blueq/internal/transport"
+)
+
+func main() {
+	duration := flag.Duration("duration", 20*time.Second, "total wall-clock budget, split across workload×transport cells")
+	spec := flag.String("transport", "both",
+		"transport spec, or 'both' for the default faulty and contended specs")
+	workload := flag.String("workload", "all", "flood, fft, md, or all")
+	slow := flag.Duration("slow", 50*time.Microsecond, "consumer-side per-message execution delay (the overload)")
+	seed := flag.Int64("seed", 1, "seed for faulty transports")
+	fcWindow := flag.Int("fc-window", 16, "flow-control credit window per (src,dst) node pair")
+	fcOverflowCap := flag.Int("fc-overflow-cap", 64, "cap on the lockless overflow queue")
+	fcBurst := flag.Int("fc-burst", 0, "m2m burst admission limit (0 = default)")
+	fcMaxBlock := flag.Duration("fc-maxblock", 10*time.Second, "longest a sender parks before overdraft")
+	sweep := flag.Bool("sweep", false, "run the offered-load saturation sweep instead of the soak")
+	flag.Parse()
+
+	fcc := flowctl.Config{
+		Window:      *fcWindow,
+		OverflowCap: *fcOverflowCap,
+		BurstLimit:  *fcBurst,
+		MaxBlock:    *fcMaxBlock,
+	}
+
+	var specs []string
+	if *spec == "both" {
+		specs = []string{
+			transport.WithSeed("faulty:drop=0.05,dup=0.02", *seed),
+			"contended:scale=3",
+		}
+	} else {
+		specs = []string{transport.WithSeed(*spec, *seed)}
+	}
+
+	if *sweep {
+		runSweep(specs[0], *slow, fcc, *duration)
+		return
+	}
+
+	var workloads []string
+	switch *workload {
+	case "all":
+		workloads = []string{"flood", "fft", "md"}
+	case "flood", "fft", "md":
+		workloads = []string{*workload}
+	default:
+		fmt.Fprintf(os.Stderr, "soak: unknown -workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	cell := *duration / time.Duration(len(specs)*len(workloads))
+	if cell < time.Second {
+		cell = time.Second
+	}
+	failures := 0
+	for _, sp := range specs {
+		for _, w := range workloads {
+			var err error
+			switch w {
+			case "flood":
+				err = runFlood(sp, cell, *slow, fcc)
+			case "fft":
+				err = runFFTSoak(sp, cell, *slow, fcc)
+			case "md":
+				err = runMDSoak(sp, cell, *slow, fcc)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %-5s over %s: %v\n", w, sp, err)
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("soak: all properties held")
+}
+
+// residencySampler polls the machine-wide scheduler backlog and the
+// reorder buffers, tracking peaks, until stop is closed.
+type residencySampler struct {
+	m            *converse.Machine
+	stop         chan struct{}
+	wg           sync.WaitGroup
+	peakResident atomic.Int64
+	peakReorder  atomic.Int64
+}
+
+func startSampler(m *converse.Machine) *residencySampler {
+	s := &residencySampler{m: m, stop: make(chan struct{})}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			if r := m.QueueResidency(); r > s.peakResident.Load() {
+				s.peakResident.Store(r)
+			}
+			for rank := 0; rank < m.NumNodes(); rank++ {
+				if b := int64(m.PAMIClient().Node(rank).ReorderBuffered()); b > s.peakReorder.Load() {
+					s.peakReorder.Store(b)
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	return s
+}
+
+func (s *residencySampler) finish() (resident, reorder int64) {
+	close(s.stop)
+	s.wg.Wait()
+	return s.peakResident.Load(), s.peakReorder.Load()
+}
+
+// floodBound is the resident-backlog ceiling for a single slow consumer:
+// its ring, its overflow cap, the scheduler pull bound and the credit
+// window still in flight, plus slack for the sampler racing enqueues.
+func floodBound(ringSize int, fcc flowctl.Config) int64 {
+	return int64(ringSize + fcc.OverflowCap + 64 + fcc.Window + 8)
+}
+
+// runFlood: one producer floods one consumer that executes every message
+// `slow` late. The strictest cell — the residency bound is tight and
+// exactly-once is checked per message id.
+func runFlood(spec string, d, slow time.Duration, fcc flowctl.Config) error {
+	const ringSize = 64
+	tr, err := transport.New(spec, 2, 1)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	m, err := converse.NewMachine(converse.Config{
+		Nodes: 2, WorkersPerNode: 1, Mode: converse.ModeSMP,
+		Transport: tr, RingSize: ringSize, FlowControl: &fcc,
+	})
+	if err != nil {
+		return err
+	}
+	m.PE(1).SetInvokeDelay(slow)
+
+	var mu sync.Mutex
+	counts := make(map[int]int)
+	var delivered atomic.Int64
+	h := m.RegisterHandler(func(pe *converse.PE, msg *converse.Message) {
+		mu.Lock()
+		counts[msg.Payload.(int)]++
+		mu.Unlock()
+		delivered.Add(1)
+	})
+
+	sampler := startSampler(m)
+	var sent atomic.Int64
+	sendDone := make(chan struct{})
+
+	// Drain monitor: after the send window closes, wait for the backlog
+	// to flush (bounded: the residency cap over the consumer rate), then
+	// stop the machine.
+	go func() {
+		<-sendDone
+		grace := time.Now().Add(30 * time.Second)
+		for delivered.Load() < sent.Load() && time.Now().Before(grace) {
+			time.Sleep(time.Millisecond)
+		}
+		m.Shutdown()
+	}()
+
+	start := time.Now()
+	m.Run(func(pe *converse.PE) {
+		if pe.Id() != 0 {
+			return
+		}
+		deadline := time.Now().Add(d)
+		for i := 0; time.Now().Before(deadline); i++ {
+			if err := pe.Send(1, &converse.Message{Handler: h, Bytes: 8, Payload: i}); err != nil {
+				fmt.Fprintf(os.Stderr, "flood send %d: %v\n", i, err)
+				break
+			}
+			sent.Add(1)
+		}
+		close(sendDone)
+	})
+	elapsed := time.Since(start)
+	peakResident, peakReorder := sampler.finish()
+
+	mu.Lock()
+	distinct := len(counts)
+	dups := 0
+	for _, c := range counts {
+		if c > 1 {
+			dups++
+		}
+	}
+	mu.Unlock()
+
+	fc := m.FlowController()
+	bound := floodBound(ringSize, fc.Config())
+	fmt.Printf("flood over %-45s %8d msgs in %5.1fs (%6.0f/s), peak resident %d/bound %d, reorder %d/cap %d, parked %d\n",
+		spec+":", sent.Load(), elapsed.Seconds(), float64(delivered.Load())/elapsed.Seconds(),
+		peakResident, bound, peakReorder, fc.Config().ReorderCap, fc.BlockedTotal())
+
+	if sent.Load() == 0 {
+		return fmt.Errorf("no forward progress: nothing sent")
+	}
+	if int64(distinct) != sent.Load() || dups > 0 {
+		return fmt.Errorf("exactly-once violated: sent %d, distinct %d, duplicated %d", sent.Load(), distinct, dups)
+	}
+	if peakResident > bound {
+		return fmt.Errorf("memory unbounded: resident backlog peaked at %d, bound %d", peakResident, bound)
+	}
+	if peakReorder > int64(fc.Config().ReorderCap) {
+		return fmt.Errorf("reorder buffer exceeded cap: %d > %d", peakReorder, fc.Config().ReorderCap)
+	}
+	return nil
+}
+
+// runFFTSoak iterates the distributed 3D FFT with one slowed PE until the
+// budget expires. Each iteration's transposes must arrive exactly once or
+// the pencil completion counts wedge the engine — finishing iterations at
+// all is the delivery check.
+func runFFTSoak(spec string, d, slow time.Duration, fcc flowctl.Config) error {
+	const nodes = 4
+	tr, err := transport.New(spec, nodes, 1)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	rt, err := charm.NewRuntime(converse.Config{
+		Nodes: nodes, WorkersPerNode: 1, Mode: converse.ModeSMP,
+		Transport: tr, FlowControl: &fcc,
+	})
+	if err != nil {
+		return err
+	}
+	m := rt.Machine()
+	m.PE(1).SetInvokeDelay(slow)
+	eng, err := fft3d.New(rt, nil, fft3d.Config{
+		NX: 8, NY: 8, NZ: 8, Transport: fft3d.P2P,
+		Input: func(x, y, z int) complex128 {
+			return complex(float64(x+2*y)+0.25, float64(z-y)-0.5)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	deadline := time.Now().Add(d)
+	var iters atomic.Int64
+	eng.SetOnComplete(func(pe *converse.PE, iter int) {
+		iters.Store(int64(iter))
+		if time.Now().After(deadline) {
+			rt.Shutdown()
+			return
+		}
+		if err := eng.Start(pe); err != nil {
+			fmt.Fprintf(os.Stderr, "fft restart: %v\n", err)
+			rt.Shutdown()
+		}
+	})
+
+	sampler := startSampler(m)
+	watchdog := time.AfterFunc(d+60*time.Second, rt.Shutdown)
+	defer watchdog.Stop()
+	start := time.Now()
+	rt.Run(func(pe *converse.PE) {
+		if pe.Id() == 0 {
+			if err := eng.Start(pe); err != nil {
+				fmt.Fprintf(os.Stderr, "fft start: %v\n", err)
+				rt.Shutdown()
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	peakResident, peakReorder := sampler.finish()
+
+	// The FFT keeps at most one full transpose in flight per phase; the
+	// flow-control caps bound each PE's share of it.
+	fc := m.FlowController()
+	bound := int64(m.NumPEs()) * floodBound(lockless.DefaultRingSize, fc.Config())
+	fmt.Printf("fft   over %-45s %8d iterations in %5.1fs, peak resident %d/bound %d, reorder %d/cap %d, parked %d\n",
+		spec+":", iters.Load(), elapsed.Seconds(), peakResident, bound, peakReorder,
+		fc.Config().ReorderCap, fc.BlockedTotal())
+
+	if iters.Load() < 1 {
+		return fmt.Errorf("no forward progress: zero FFT iterations completed")
+	}
+	if peakResident > bound {
+		return fmt.Errorf("memory unbounded: resident backlog peaked at %d, bound %d", peakResident, bound)
+	}
+	if peakReorder > int64(fc.Config().ReorderCap) {
+		return fmt.Errorf("reorder buffer exceeded cap: %d > %d", peakReorder, fc.Config().ReorderCap)
+	}
+	return nil
+}
+
+// runMDSoak repeats short MD runs (cutoff force field, velocity Verlet)
+// until the budget expires. A run only returns when every patch exchange
+// and reduction completed, so completed runs are the progress/delivery
+// check; energies must stay finite.
+func runMDSoak(spec string, d, slow time.Duration, fcc flowctl.Config) error {
+	deadline := time.Now().Add(d)
+	sims := 0
+	var peakResident, peakReorder int64
+	start := time.Now()
+	for sims == 0 || time.Now().Before(deadline) {
+		tr, err := transport.New(spec, 2, 2)
+		if err != nil {
+			return err
+		}
+		sys := md.WaterBox(md.WaterBoxConfig{Molecules: 40, Seed: int64(sims + 1)})
+		sim, err := mdsim.New(mdsim.Config{
+			System:    sys,
+			Nonbonded: md.NonbondedParams{Cutoff: 4, SwitchDist: 3.2},
+			DT:        2e-4, Steps: 3,
+			Runtime: converse.Config{
+				Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP,
+				Transport: tr, FlowControl: &fcc,
+			},
+		})
+		if err != nil {
+			tr.Close()
+			return err
+		}
+		m := sim.Runtime().Machine()
+		m.PE(1).SetInvokeDelay(slow)
+		sampler := startSampler(m)
+		rep := sim.Run()
+		r, b := sampler.finish()
+		tr.Close()
+		if r > peakResident {
+			peakResident = r
+		}
+		if b > peakReorder {
+			peakReorder = b
+		}
+		if math.IsNaN(rep.Total()) || math.IsInf(rep.Total(), 0) {
+			return fmt.Errorf("md run %d produced non-finite energy %g", sims, rep.Total())
+		}
+		sims++
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("md    over %-45s %8d runs in %5.1fs, peak resident %d, reorder peak %d\n",
+		spec+":", sims, elapsed.Seconds(), peakResident, peakReorder)
+	if sims < 1 {
+		return fmt.Errorf("no forward progress: zero MD runs completed")
+	}
+	return nil
+}
+
+// runSweep steps offered load across the slowed consumer's capacity and
+// tabulates achieved throughput — the saturation curve for EXPERIMENTS.md.
+// Below the knee the runtime keeps up; above it, delivery plateaus at the
+// consumer's capacity while the resident backlog stays pinned at the
+// flow-control bound instead of growing with the excess.
+func runSweep(spec string, slow time.Duration, fcc flowctl.Config, budget time.Duration) {
+	// The consumer's delay is a time.Sleep whose effective cost is
+	// dominated by timer granularity at microsecond settings — calibrate
+	// the real per-message cost instead of trusting 1/slow.
+	begin := time.Now()
+	const calRounds = 50
+	for i := 0; i < calRounds; i++ {
+		time.Sleep(slow)
+	}
+	capacity := float64(calRounds) / time.Since(begin).Seconds()
+	multipliers := []float64{0.25, 0.5, 1, 2, 4, 8}
+	cell := budget / time.Duration(len(multipliers))
+	if cell < time.Second {
+		cell = time.Second
+	}
+	fmt.Printf("saturation sweep over %s: consumer capacity ≈ %.0f msg/s (nominal delay %v), window %d, overflow cap %d\n",
+		spec, capacity, slow, fcc.Window, fcc.OverflowCap)
+	fmt.Printf("%14s %14s %14s %14s %10s\n", "offered msg/s", "achieved msg/s", "utilization", "peak resident", "parked")
+	for _, mult := range multipliers {
+		offered := capacity * mult
+		achieved, peak, parked, err := sweepCell(spec, cell, slow, offered, fcc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep cell %.0f/s: %v\n", offered, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%14.0f %14.0f %13.0f%% %14d %10d\n",
+			offered, achieved, 100*achieved/offered, peak, parked)
+	}
+}
+
+// sweepCell paces the producer at the offered rate for the cell duration
+// and measures what the slowed consumer actually executed in that window.
+func sweepCell(spec string, d, slow time.Duration, offered float64, fcc flowctl.Config) (achieved float64, peak, parked int64, err error) {
+	const ringSize = 64
+	tr, err := transport.New(spec, 2, 1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer tr.Close()
+	m, err := converse.NewMachine(converse.Config{
+		Nodes: 2, WorkersPerNode: 1, Mode: converse.ModeSMP,
+		Transport: tr, RingSize: ringSize, FlowControl: &fcc,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	m.PE(1).SetInvokeDelay(slow)
+	var delivered atomic.Int64
+	h := m.RegisterHandler(func(pe *converse.PE, msg *converse.Message) {
+		delivered.Add(1)
+	})
+
+	sampler := startSampler(m)
+	var inWindow int64
+	var sent atomic.Int64
+	sendDone := make(chan struct{})
+	go func() {
+		<-sendDone
+		atomic.StoreInt64(&inWindow, delivered.Load())
+		grace := time.Now().Add(10 * time.Second)
+		for delivered.Load() < sent.Load() && time.Now().Before(grace) {
+			time.Sleep(time.Millisecond)
+		}
+		m.Shutdown()
+	}()
+
+	var elapsed time.Duration
+	m.Run(func(pe *converse.PE) {
+		if pe.Id() != 0 {
+			return
+		}
+		// Pace in 1 ms ticks: offered/1000 messages per tick. A parked
+		// tick (backpressure) just falls behind the schedule — offered
+		// load is a target, the ledger below measures what really went.
+		perTick := offered / 1000
+		begin := time.Now()
+		deadline := begin.Add(d)
+		credit := 0.0
+		for time.Now().Before(deadline) {
+			credit += perTick
+			for ; credit >= 1; credit-- {
+				if err := pe.Send(1, &converse.Message{Handler: h, Bytes: 8, Payload: int(sent.Load())}); err != nil {
+					fmt.Fprintf(os.Stderr, "sweep send: %v\n", err)
+					credit = 0
+					break
+				}
+				sent.Add(1)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		elapsed = time.Since(begin)
+		close(sendDone)
+	})
+	peakResident, _ := sampler.finish()
+	fc := m.FlowController()
+	return float64(atomic.LoadInt64(&inWindow)) / elapsed.Seconds(), peakResident, fc.BlockedTotal(), nil
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blueq/internal/flowctl"
 	"blueq/internal/lockless"
 	"blueq/internal/mempool"
 	"blueq/internal/obs"
@@ -96,6 +97,14 @@ type Config struct {
 	// where the timers would be pure overhead. NewMachine defaults it to
 	// DefaultRendezvousTimeout when the transport is unreliable.
 	RendezvousTimeout time.Duration
+	// FlowControl, when non-nil, arms the end-to-end flow-control and
+	// overload-protection layer: per-(src,dst) eager-send credit windows
+	// on the PAMI channel, hard caps on the lockless overflow queues and
+	// the reliability reorder buffers, mempool pressure watermarks that
+	// shrink granted windows, and best-effort shedding under hard
+	// pressure. Zero-valued fields inside take their defaults. Nil (the
+	// default) leaves every structure unbounded, as before.
+	FlowControl *flowctl.Config
 }
 
 func (c *Config) normalize() error {
@@ -137,10 +146,23 @@ type Message struct {
 	Bytes   int
 	Prio    int // lower runs first; 0 is the default
 	Payload any
+	// BestEffort marks the message droppable under overload: when the
+	// flow-control layer is armed and the machine is shedding (hard
+	// memory pressure), Send counts and discards it instead of queueing.
+	// Reliable traffic leaves this false and is never shed.
+	BestEffort bool
 
 	seq       uint64 // FIFO tie-break within equal priorities
 	destLocal int    // worker rank within the destination node
 	enqNS     int64  // enqueue timestamp for the deliver-latency histogram (0 when obs is off)
+
+	// viaNet/fromNode mark a message that arrived over the network while
+	// flow control was armed: its eager-send credit is released when the
+	// destination PE finishes executing it (deferred release), so the
+	// credit window bounds the consumer's whole backlog, not just the
+	// packets on the wire.
+	viaNet   bool
+	fromNode int
 }
 
 // Machine is a running Converse instance spanning Config.Nodes processes.
@@ -161,6 +183,10 @@ type Machine struct {
 	dispConverse   int
 	dispRendezvous int
 	dispRzvAck     int
+
+	// fc is the flow-control controller, nil unless Config.FlowControl
+	// was set.
+	fc *flowctl.Controller
 
 	rzvSeq   atomic.Uint64
 	rzvStats RendezvousStats
@@ -198,15 +224,29 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.RendezvousTimeout == 0 && !tr.Reliable() {
 		cfg.RendezvousTimeout = DefaultRendezvousTimeout
 	}
+	var fc *flowctl.Controller
+	if cfg.FlowControl != nil {
+		fc = flowctl.NewController(*cfg.FlowControl, cfg.Nodes)
+	}
 	m := &Machine{
 		cfg:            cfg,
 		tor:            tr.Torus(),
 		tr:             tr,
 		ownsTr:         ownsTr,
-		client:         pami.NewClient(tr, ctxPerNode),
+		client:         pami.NewClientFlow(tr, ctxPerNode, fc),
+		fc:             fc,
 		dispConverse:   1,
 		dispRendezvous: 2,
 		dispRzvAck:     3,
+	}
+	if fc != nil {
+		// Rendezvous acks complete transfers that free receiver memory;
+		// gating them on the credits they replenish would be a priority
+		// inversion, so they ride outside the windows. Converse message
+		// credits release at execution (see Message.viaNet), not at PAMI
+		// dispatch.
+		fc.ExemptDispatch(m.dispRzvAck)
+		fc.DeferRelease(m.dispConverse)
 	}
 	if cfg.RendezvousTimeout > 0 {
 		m.rzvPend = make(map[uint64]*rzvPending)
@@ -214,7 +254,14 @@ func NewMachine(cfg Config) (*Machine, error) {
 	}
 	for r := 0; r < cfg.Nodes; r++ {
 		node := &SMPNode{machine: m, rank: r, halted: make(chan struct{})}
-		node.alloc = mempool.NewPoolAllocator(cfg.WorkersPerNode+cfg.CommThreads, 0)
+		alloc := mempool.NewPoolAllocator(cfg.WorkersPerNode+cfg.CommThreads, 0)
+		node.alloc = alloc
+		if fc != nil {
+			fcc := fc.Config()
+			alloc.SetWatermarks(fcc.SoftWatermark, fcc.HardWatermark)
+			rank := r
+			alloc.OnPressureChange(func(level int) { fc.SetPressure(rank, level) })
+		}
 		for w := 0; w < cfg.WorkersPerNode; w++ {
 			pe := &PE{
 				id:    r*cfg.WorkersPerNode + w,
@@ -226,7 +273,12 @@ func NewMachine(cfg Config) (*Machine, error) {
 			case MutexQueues:
 				pe.queue = lockless.NewMutexQueue()
 			default:
-				pe.queue = lockless.NewL2Queue(cfg.RingSize)
+				q := lockless.NewL2Queue(cfg.RingSize)
+				if fc != nil {
+					fcc := fc.Config()
+					q.SetOverflowCap(fcc.OverflowCap, fcc.MaxBlock)
+				}
+				pe.queue = q
 			}
 			node.pes = append(node.pes, pe)
 			m.pes = append(m.pes, pe)
@@ -358,8 +410,13 @@ func (m *Machine) HaltNode(rank int) {
 	node.dead.Store(true)
 	// The dead node will never ack anything again: stop its reliability
 	// retransmission timers now rather than letting them fire pointlessly
-	// until machine teardown.
+	// until machine teardown, and tear down its credit windows so any
+	// sender parked on a credit the dead node holds unblocks immediately
+	// instead of waiting out MaxBlock.
 	m.client.Node(rank).Shutdown()
+	if m.fc != nil {
+		m.fc.DropPeer(rank)
+	}
 	for _, pe := range node.pes {
 		pe.wake.Signal()
 	}
@@ -388,6 +445,23 @@ func (m *Machine) NodeHalted(rank int) <-chan struct{} { return m.nodes[rank].ha
 // register their own dispatch ids (the fault-tolerance heartbeats travel
 // this way, below the scheduler and outside charm's message accounting).
 func (m *Machine) PAMIClient() *pami.Client { return m.client }
+
+// FlowController returns the flow-control controller, nil when
+// Config.FlowControl was not set. Layers above use it to exempt their
+// control-plane dispatch ids and to read the degradation-ladder state.
+func (m *Machine) FlowController() *flowctl.Controller { return m.fc }
+
+// QueueResidency returns the number of messages currently enqueued to PE
+// schedulers but not yet executed, machine-wide — the resident scheduler
+// backlog the flow-control layer exists to bound. Soak harnesses assert
+// it stays under Nodes × OverflowCap-order limits.
+func (m *Machine) QueueResidency() int64 {
+	var n int64
+	for _, pe := range m.pes {
+		n += pe.Resident()
+	}
+	return n
+}
 
 // Wait blocks until all PE schedulers have exited, then stops comm threads
 // and closes the transport if the machine created it.
@@ -478,6 +552,10 @@ func (n *SMPNode) stopCommThreads() {
 // enqueues the message on the destination PE's scheduler queue.
 func (n *SMPNode) onNetworkMessage(src int, data any, bytes int) {
 	msg := data.(*Message)
+	if n.machine.fc != nil && src != n.rank {
+		msg.viaNet = true
+		msg.fromNode = src
+	}
 	n.pes[msg.destLocal].enqueue(msg)
 }
 
@@ -495,6 +573,11 @@ type PE struct {
 	executed atomic.Int64
 	idles    atomic.Int64
 	enqueued atomic.Int64
+
+	// throttleNS, when positive, sleeps the scheduler for that many
+	// nanoseconds before each handler invocation — the soak harness's
+	// deliberately slowed consumer.
+	throttleNS atomic.Int64
 }
 
 // Id returns the PE's global identifier (CmiMyPe).
@@ -523,6 +606,15 @@ func (pe *PE) Enqueued() int64 { return pe.enqueued.Load() }
 // IdleCycles returns the number of scheduler iterations spent idle.
 func (pe *PE) IdleCycles() int64 { return pe.idles.Load() }
 
+// Resident returns the messages queued to this PE but not yet executed
+// (scheduler queue plus priority queue).
+func (pe *PE) Resident() int64 { return pe.enqueued.Load() - pe.executed.Load() }
+
+// SetInvokeDelay makes the PE sleep for d before executing each message —
+// an artificially slowed consumer for overload and soak testing. Zero
+// restores full speed. Safe to call while the machine runs.
+func (pe *PE) SetInvokeDelay(d time.Duration) { pe.throttleNS.Store(int64(d)) }
+
 func (pe *PE) enqueue(msg *Message) {
 	pe.enqueued.Add(1)
 	if obs.On() {
@@ -545,6 +637,11 @@ func (pe *PE) Send(dst int, msg *Message) error {
 		return fmt.Errorf("converse: PE %d out of range [0,%d)", dst, len(m.pes))
 	}
 	msg.SrcPE = pe.id
+	if msg.BestEffort && m.fc != nil && m.fc.TryShed(pe.id) {
+		// Shedding (ladder rung 2): best-effort traffic is dropped at the
+		// source, counted, so reliable traffic keeps its credits.
+		return nil
+	}
 	target := m.pes[dst]
 	if target.node == pe.node {
 		if obs.On() {
@@ -593,13 +690,22 @@ func (pe *PE) run(initPE func(pe *PE)) {
 	}
 	selfAdvance := m.cfg.Mode != ModeSMPComm
 	myCtx := pe.node.contexts[pe.local%len(pe.node.contexts)]
+	// With flow control armed, the scheduler pulls only enough messages
+	// to keep its priority queue primed. Pulling everything (the default)
+	// would drain the capped lockless queue into an unbounded heap,
+	// moving the backlog out of the structure producers park on — the
+	// backpressure would never reach them.
+	pullBound := -1
+	if m.fc != nil {
+		pullBound = schedPullBound
+	}
 	const idleSpins = 64
 	spins := 0
 	for !m.stopped.Load() && !pe.node.dead.Load() {
 		progressed := false
-		// Pull everything available into the local priority queue, then run
-		// the best message.
-		for {
+		// Pull available messages into the local priority queue, then run
+		// the best one.
+		for pullBound < 0 || pe.prioq.Len() < pullBound {
 			v, ok := pe.queue.Dequeue()
 			if !ok {
 				break
@@ -645,10 +751,18 @@ func (pe *PE) run(initPE func(pe *PE)) {
 	// CsdExitScheduler.
 }
 
+// schedPullBound caps the scheduler's priority-queue depth when flow
+// control is armed. Deep enough that priorities still reorder a meaningful
+// window of work; shallow enough that backpressure reaches producers.
+const schedPullBound = 64
+
 func (pe *PE) invoke(msg *Message) {
 	m := pe.node.machine
 	if msg.Handler < 0 || msg.Handler >= len(m.handlers) {
 		panic(fmt.Sprintf("converse: PE %d received unknown handler %d", pe.id, msg.Handler))
+	}
+	if d := pe.throttleNS.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
 	}
 	pe.executed.Add(1)
 	if obs.On() {
@@ -658,6 +772,12 @@ func (pe *PE) invoke(msg *Message) {
 		}
 	}
 	m.handlers[msg.Handler](pe, msg)
+	if msg.viaNet && m.fc != nil {
+		// Deferred credit release: the message is fully executed, its
+		// scheduler-queue slot and buffer are free — now the sender may
+		// put another one in flight.
+		m.fc.Window(msg.fromNode, pe.node.rank).Release(1)
+	}
 }
 
 // msgHeap orders messages by (Prio, seq): Charm++'s prioritized scheduler

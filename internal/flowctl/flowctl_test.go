@@ -1,0 +1,219 @@
+package flowctl
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConfigNormalize(t *testing.T) {
+	var c Config
+	c.Normalize()
+	if c.Window != DefaultWindow || c.OverflowCap != DefaultOverflowCap ||
+		c.ReorderCap != DefaultReorderCap || c.BurstLimit != DefaultBurstLimit ||
+		c.SoftWatermark != DefaultSoftWatermark || c.HardWatermark != DefaultHardWatermark ||
+		c.MaxBlock != DefaultMaxBlock {
+		t.Fatalf("zero config did not pick defaults: %+v", c)
+	}
+
+	// The reorder cap must admit a full credit window.
+	c = Config{Window: 1024, ReorderCap: 16}
+	c.Normalize()
+	if c.ReorderCap != 1024 {
+		t.Fatalf("ReorderCap = %d, want raised to Window 1024", c.ReorderCap)
+	}
+
+	// Hard watermark can never sit below soft.
+	c = Config{SoftWatermark: 100 << 20, HardWatermark: 1 << 20}
+	c.Normalize()
+	if c.HardWatermark != c.SoftWatermark {
+		t.Fatalf("HardWatermark = %d below soft %d", c.HardWatermark, c.SoftWatermark)
+	}
+}
+
+func TestWindowAcquireRelease(t *testing.T) {
+	ctl := NewController(Config{Window: 4, MaxBlock: 50 * time.Millisecond}, 2)
+	w := ctl.Window(0, 1)
+	for i := 0; i < 4; i++ {
+		if !w.Acquire(nil) {
+			t.Fatalf("acquire %d should have credit", i)
+		}
+	}
+	if w.Available() != 0 {
+		t.Fatalf("Available = %d, want 0", w.Available())
+	}
+
+	// A fifth acquire parks; a concurrent release unblocks it.
+	done := make(chan bool, 1)
+	go func() { done <- w.Acquire(nil) }()
+	select {
+	case <-done:
+		t.Fatal("acquire succeeded with no credits")
+	case <-time.After(2 * time.Millisecond):
+	}
+	w.Release(1)
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("unblocked acquire reported overdraft")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("release did not unblock the parked acquire")
+	}
+}
+
+func TestWindowOverdraftAfterMaxBlock(t *testing.T) {
+	ctl := NewController(Config{Window: 1, MaxBlock: 5 * time.Millisecond}, 2)
+	w := ctl.Window(0, 1)
+	w.Acquire(nil)
+	start := time.Now()
+	if w.Acquire(nil) {
+		t.Fatal("second acquire should be an overdraft")
+	}
+	if e := time.Since(start); e < 4*time.Millisecond {
+		t.Fatalf("overdraft granted after %v, want ~MaxBlock", e)
+	}
+	if w.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2 (overdraft still accounted)", w.InFlight())
+	}
+}
+
+func TestPressureShrinksWindow(t *testing.T) {
+	ctl := NewController(Config{Window: 8}, 2)
+	if got := ctl.effectiveWindow(); got != 8 {
+		t.Fatalf("effectiveWindow = %d, want 8", got)
+	}
+	ctl.SetPressure(0, 1)
+	if got := ctl.effectiveWindow(); got != 4 {
+		t.Fatalf("soft pressure: effectiveWindow = %d, want 4", got)
+	}
+	if ctl.State() != StateThrottled {
+		t.Fatalf("State = %d, want throttled", ctl.State())
+	}
+	ctl.SetPressure(1, 2)
+	if got := ctl.effectiveWindow(); got != 2 {
+		t.Fatalf("hard pressure: effectiveWindow = %d, want 2", got)
+	}
+	if ctl.State() != StateShedding {
+		t.Fatalf("State = %d, want shedding", ctl.State())
+	}
+	// Clearing one source keeps the max of the others.
+	ctl.SetPressure(1, 0)
+	if got := ctl.PressureLevel(); got != 1 {
+		t.Fatalf("PressureLevel = %d, want 1", got)
+	}
+	ctl.SetPressure(0, 0)
+	if ctl.State() != StateFull {
+		t.Fatalf("State = %d, want full", ctl.State())
+	}
+}
+
+func TestTryShedOnlyUnderHardPressure(t *testing.T) {
+	ctl := NewController(Config{}, 2)
+	if ctl.TryShed(0) {
+		t.Fatal("shed at full speed")
+	}
+	ctl.SetPressure(0, 1)
+	if ctl.TryShed(0) {
+		t.Fatal("shed while merely throttled")
+	}
+	ctl.SetPressure(0, 2)
+	if !ctl.TryShed(0) {
+		t.Fatal("no shed under hard pressure")
+	}
+	if ctl.ShedCount() != 1 {
+		t.Fatalf("ShedCount = %d, want 1", ctl.ShedCount())
+	}
+}
+
+func TestDropPeerReleasesParkedSenders(t *testing.T) {
+	ctl := NewController(Config{Window: 1, MaxBlock: 10 * time.Second}, 3)
+	w := ctl.Window(0, 2)
+	w.Acquire(nil)
+	done := make(chan struct{})
+	go func() {
+		w.Acquire(nil)
+		close(done)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	ctl.DropPeer(2)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("DropPeer did not release the parked sender")
+	}
+	if !w.Dead() || !ctl.Window(2, 0).Dead() {
+		t.Fatal("windows touching the dead peer should be marked dead")
+	}
+	if ctl.Window(0, 1).Dead() {
+		t.Fatal("window between survivors marked dead")
+	}
+	// Future acquires toward the dead peer pass without accounting.
+	if !w.Acquire(nil) || w.InFlight() != 0 {
+		t.Fatalf("dead window should grant without accounting (inflight=%d)", w.InFlight())
+	}
+}
+
+func TestExemptDispatch(t *testing.T) {
+	ctl := NewController(Config{}, 2)
+	if ctl.Exempt(9) {
+		t.Fatal("dispatch 9 exempt before registration")
+	}
+	ctl.ExemptDispatch(9)
+	if !ctl.Exempt(9) {
+		t.Fatal("dispatch 9 not exempt after registration")
+	}
+	ctl.ExemptDispatch(-1)  // out of range: ignored
+	ctl.ExemptDispatch(999) // out of range: ignored
+	if ctl.Exempt(-1) || ctl.Exempt(999) {
+		t.Fatal("out-of-range dispatch ids reported exempt")
+	}
+}
+
+func TestWindowConcurrentAcquireRelease(t *testing.T) {
+	ctl := NewController(Config{Window: 16, MaxBlock: 30 * time.Second}, 2)
+	w := ctl.Window(0, 1)
+	const (
+		producers = 8
+		perProd   = 500
+	)
+	var wg sync.WaitGroup
+	wg.Add(2 * producers)
+	for p := 0; p < producers; p++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				w.Acquire(nil)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				for w.InFlight() == 0 {
+					time.Sleep(10 * time.Microsecond)
+				}
+				w.Release(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.InFlight(); got < 0 || got > 16 {
+		t.Fatalf("InFlight = %d after balanced acquire/release, want within [0,16]", got)
+	}
+}
+
+func TestParkUntil(t *testing.T) {
+	n := 0
+	ok := ParkUntil(func() bool { n++; return n >= 3 }, nil, time.Second)
+	if !ok || n != 3 {
+		t.Fatalf("ParkUntil ok=%v n=%d, want success on third try", ok, n)
+	}
+	progressed := 0
+	ok = ParkUntil(func() bool { return false }, func() { progressed++ }, 5*time.Millisecond)
+	if ok {
+		t.Fatal("ParkUntil succeeded on always-false condition")
+	}
+	if progressed == 0 {
+		t.Fatal("progress closure never ran while parked")
+	}
+}

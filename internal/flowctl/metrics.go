@@ -1,0 +1,32 @@
+package flowctl
+
+import "blueq/internal/obs"
+
+// Observability for the flow-control layer (internal/obs). The ladder
+// state, pressure and credit gauges are the operator's view of where the
+// machine sits between full speed and backpressure-blocked; the counters
+// localize which mechanism engaged. Shard keys are node ranks where a
+// rank is available, 0 otherwise.
+var (
+	// mCreditsAvail is a last-observation gauge: the credits remaining on
+	// the most recently acquired-from window. A saturated machine shows it
+	// pinned at 0.
+	mCreditsAvail = obs.NewGauge("flowctl", "credits_available")
+	// mState is the degradation-ladder rung (0 full … 3 blocked).
+	mState = obs.NewGauge("flowctl", "state")
+	// mPressureMax is the machine-wide max mempool pressure level.
+	mPressureMax = obs.NewGauge("flowctl", "mem_pressure_max")
+	// mBlocked counts senders that entered the parked path.
+	mBlocked = obs.NewCounter("flowctl", "credit_blocked_total", 0)
+	// mOverdraft counts credits taken on overdraft after MaxBlock.
+	mOverdraft = obs.NewCounter("flowctl", "credit_overdraft_total", 0)
+	// mShed counts best-effort messages dropped while shedding.
+	mShed = obs.NewCounter("flowctl", "shed_total", 0)
+	// mBurstParked counts m2m burst sends that had to park on the
+	// per-destination admission limit.
+	mBurstParked = obs.NewCounter("flowctl", "burst_parked_total", 0)
+)
+
+// CountBurstParked records an m2m sender parking on burst admission; the
+// m2m layer calls it so the counter lives beside the other flow metrics.
+func CountBurstParked(dst int) { mBurstParked.Inc(dst) }

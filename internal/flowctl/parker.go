@@ -1,0 +1,39 @@
+package flowctl
+
+import (
+	"runtime"
+	"time"
+)
+
+// ParkUntil is the shared bounded park-and-retry loop behind every
+// blocking point in the flow-control layer: try the condition, spin
+// briefly yielding the core, run the progress closure, then sleep with
+// exponential backoff. Returns true when try succeeded, false when
+// maxBlock elapsed first (the caller proceeds on overdraft — bounded
+// blocking is what keeps backpressure from hardening into deadlock).
+func ParkUntil(try func() bool, progress func(), maxBlock time.Duration) bool {
+	if try() {
+		return true
+	}
+	deadline := time.Now().Add(maxBlock)
+	sleep := 20 * time.Microsecond
+	for spins := 0; ; spins++ {
+		if progress != nil {
+			progress()
+		}
+		if spins < 32 {
+			runtime.Gosched()
+		} else {
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(sleep)
+			if sleep < time.Millisecond {
+				sleep *= 2
+			}
+		}
+		if try() {
+			return true
+		}
+	}
+}

@@ -156,6 +156,13 @@ func New(rt *charm.Runtime, cfg Config) *Manager {
 	for r := range mgr.stores {
 		mgr.stores[r] = newNodeStore()
 	}
+	// Heartbeats are the packets failure detection rides on; gating them
+	// behind send credits would let an overloaded (but alive) node look
+	// dead, and a dead node's exhausted window would stop the very traffic
+	// that confirms it died. Control plane bypasses flow control.
+	if fc := m.FlowController(); fc != nil {
+		fc.ExemptDispatch(heartbeatDispatch)
+	}
 	mgr.initDetector()
 	mgr.registerGroup()
 	mgr.lastCkptNS.Store(time.Now().UnixNano())

@@ -18,6 +18,13 @@ var (
 	mDepthHW  = obs.NewGauge("lockless", "ring_depth_high_water")
 	mMutexEnq = obs.NewCounter("lockless", "mutex_enqueue_total", 0)
 	mMutexDeq = obs.NewCounter("lockless", "mutex_dequeue_total", 0)
+
+	// Flow-control instrumentation: cap hits count producers that found
+	// the overflow queue full and parked (updated on the already-slow
+	// parked path, so they are not obs.On()-guarded); overruns count the
+	// MaxBlock liveness escapes that spilled past the cap.
+	mCapHit     = obs.NewCounter("lockless", "overflow_cap_hits", 0)
+	mCapOverrun = obs.NewCounter("lockless", "overflow_cap_overruns", 0)
 )
 
 // queueSeq hands each queue a distinct metric shard key at construction.

@@ -21,8 +21,10 @@
 package lockless
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blueq/internal/l2atomic"
 	"blueq/internal/obs"
@@ -67,6 +69,13 @@ type L2Queue struct {
 	omu      sync.Mutex
 	overflow []any
 	olen     atomic.Int64
+
+	// Overflow cap (flow control): when ocap > 0, producers finding the
+	// overflow queue at the cap park-and-retry for up to omaxBlock before
+	// spilling anyway — bounded memory under a slow consumer without ever
+	// dropping a message. Set before traffic flows.
+	ocap      int64
+	omaxBlock time.Duration
 }
 
 // slot boxes a message so the ring can distinguish "published" from "empty"
@@ -92,9 +101,24 @@ func NewL2Queue(size int) *L2Queue {
 	return q
 }
 
+// SetOverflowCap bounds the overflow queue at cap messages: a producer
+// finding it full parks (yield, then sleep with backoff) until the
+// consumer drains below the cap or maxBlock elapses, after which it
+// spills anyway — backpressure with a liveness escape, never a drop.
+// cap <= 0 restores the unbounded behaviour. Call before traffic flows;
+// the cap is read without synchronization on the producer slow path.
+func (q *L2Queue) SetOverflowCap(cap int, maxBlock time.Duration) {
+	q.ocap = int64(cap)
+	q.omaxBlock = maxBlock
+}
+
+// OverflowCap returns the configured overflow cap (0 = unbounded).
+func (q *L2Queue) OverflowCap() int { return int(q.ocap) }
+
 // Enqueue publishes msg. The fast path is a single bounded load-increment
 // plus a pointer store; when the ring is full the message goes to the
-// overflow queue under its mutex.
+// overflow queue under its mutex (parking first when the overflow cap is
+// reached).
 func (q *L2Queue) Enqueue(msg any) {
 	if ticket, ok := q.pc.BoundedLoadIncrement(); ok {
 		q.ring[ticket&q.mask].Store(&slot{msg: msg})
@@ -104,6 +128,9 @@ func (q *L2Queue) Enqueue(msg any) {
 		}
 		return
 	}
+	if q.ocap > 0 && q.olen.Load() >= q.ocap {
+		q.parkOnCap()
+	}
 	q.omu.Lock()
 	q.overflow = append(q.overflow, msg)
 	q.omu.Unlock()
@@ -111,6 +138,33 @@ func (q *L2Queue) Enqueue(msg any) {
 	if obs.On() {
 		mEnqueue.Inc(q.id)
 		mSpill.Inc(q.id)
+	}
+}
+
+// parkOnCap blocks the producer while the overflow queue sits at its cap.
+// The cap is soft by one message per racing producer — the check and the
+// append are deliberately not atomic together, so the fast path stays
+// lock-free — which changes the bound, not the boundedness.
+func (q *L2Queue) parkOnCap() {
+	mCapHit.Inc(q.id)
+	deadline := time.Now().Add(q.omaxBlock)
+	sleep := 20 * time.Microsecond
+	for spins := 0; q.olen.Load() >= q.ocap; spins++ {
+		if spins < 32 {
+			runtime.Gosched()
+			continue
+		}
+		if time.Now().After(deadline) {
+			// Escape hatch: a producer that is itself the queue's consumer
+			// (a PE sending to itself) would otherwise deadlock. Spill and
+			// count it; the cap re-binds as soon as the consumer drains.
+			mCapOverrun.Inc(q.id)
+			return
+		}
+		time.Sleep(sleep)
+		if sleep < time.Millisecond {
+			sleep *= 2
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestL2QueueFIFOWithinRing(t *testing.T) {
@@ -330,5 +331,80 @@ func BenchmarkMutexQueueProducers(b *testing.B) {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
 			benchQueue(b, func() Queue { return NewMutexQueue() }, p)
 		})
+	}
+}
+
+// The overflow cap must bound producer-side memory under a stalled
+// consumer: with the ring full and the overflow at its cap, Enqueue parks
+// until the consumer drains (or the liveness escape fires).
+func TestL2QueueOverflowCapParksProducer(t *testing.T) {
+	q := NewL2Queue(2)
+	q.SetOverflowCap(4, 10*time.Second)
+	// Fill the ring (2 slots) and the overflow to its cap.
+	for i := 0; i < 2+4; i++ {
+		q.Enqueue(i)
+	}
+	if got := q.OverflowLen(); got != 4 {
+		t.Fatalf("OverflowLen = %d, want 4 (at cap)", got)
+	}
+
+	unblocked := make(chan struct{})
+	go func() {
+		q.Enqueue(99) // must park: ring full, overflow at cap
+		close(unblocked)
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("Enqueue did not park at the overflow cap")
+	case <-time.After(5 * time.Millisecond):
+	}
+
+	// One dequeue drains the ring head; the ring slot reopens but the
+	// overflow stays at cap, so the producer stays parked until overflow
+	// messages drain too.
+	for i := 0; i < 3; i++ { // 2 ring slots + 1 overflow message
+		if _, ok := q.Dequeue(); !ok {
+			t.Fatalf("dequeue %d failed", i)
+		}
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Enqueue stayed parked after the overflow drained below cap")
+	}
+	// Everything still arrives exactly once.
+	got := map[int]bool{}
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		got[v.(int)] = true
+	}
+	if !got[99] {
+		t.Fatal("parked message lost")
+	}
+}
+
+// The MaxBlock escape must let a producer through a wedged queue: bounded
+// blocking degrades to slow spill, never deadlock.
+func TestL2QueueOverflowCapEscapesAfterMaxBlock(t *testing.T) {
+	q := NewL2Queue(2)
+	q.SetOverflowCap(1, 10*time.Millisecond)
+	for i := 0; i < 3; i++ { // ring (2) + overflow cap (1)
+		q.Enqueue(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		q.Enqueue(3) // no consumer: must escape after ~MaxBlock
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Enqueue never escaped the cap with no consumer")
+	}
+	if got := q.OverflowLen(); got != 2 {
+		t.Fatalf("OverflowLen = %d after escape, want 2", got)
 	}
 }

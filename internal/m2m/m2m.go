@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"blueq/internal/converse"
+	"blueq/internal/flowctl"
 )
 
 // Manager owns the m2m handler on a Converse machine. Create it (and all
@@ -69,6 +70,16 @@ type Handle struct {
 	sends  map[int][]sendOp   // srcPE -> operations
 	recvs  map[int]*recvState // dstPE -> expectations
 	frozen atomic.Bool
+
+	// Burst admission (flow control): inflight[dst] counts this handle's
+	// messages sent toward destination PE dst and not yet delivered.
+	// When the machine has flow control armed, a sender whose burst would
+	// push a destination past BurstLimit parks — an all-to-all cannot
+	// land its entire fan-in on one receiver at once. Nil when flow
+	// control is off.
+	inflight   []atomic.Int64
+	burstLimit int64
+	parked     atomic.Int64
 }
 
 type sendOp struct {
@@ -94,11 +105,41 @@ func (mgr *Manager) NewHandle() *Handle {
 		sends: make(map[int][]sendOp),
 		recvs: make(map[int]*recvState),
 	}
+	if fc := mgr.machine.FlowController(); fc != nil {
+		h.inflight = make([]atomic.Int64, mgr.machine.NumPEs())
+		h.burstLimit = int64(fc.Config().BurstLimit)
+	}
 	mgr.mu.Lock()
 	h.id = len(mgr.handles)
 	mgr.handles = append(mgr.handles, h)
 	mgr.mu.Unlock()
 	return h
+}
+
+// BurstParked returns how many times this handle's senders parked on the
+// per-destination admission limit.
+func (h *Handle) BurstParked() int64 { return h.parked.Load() }
+
+// admit reserves one in-flight slot toward dst, parking (bounded by the
+// flow-control MaxBlock) while the destination is at its burst limit.
+// Proceeds on overdraft after MaxBlock — liveness over the bound.
+func (h *Handle) admit(dst int) {
+	if n := h.inflight[dst].Add(1); n <= h.burstLimit {
+		return
+	}
+	h.inflight[dst].Add(-1)
+	h.parked.Add(1)
+	flowctl.CountBurstParked(dst)
+	fc := h.mgr.machine.FlowController()
+	if !flowctl.ParkUntil(func() bool {
+		if n := h.inflight[dst].Add(1); n <= h.burstLimit {
+			return true
+		}
+		h.inflight[dst].Add(-1)
+		return false
+	}, nil, fc.Config().MaxBlock) {
+		h.inflight[dst].Add(1) // overdraft: still accounted
+	}
 }
 
 // RegisterSend records that srcPE sends a message of the given size to
@@ -182,6 +223,11 @@ func (h *Handle) Start(pe *converse.PE) {
 
 func (h *Handle) sendBatch(pe *converse.PE, ops []sendOp) {
 	for _, op := range ops {
+		// Self-sends bypass admission: the sender is the only PE that can
+		// drain them, so parking on them would be a self-deadlock.
+		if h.inflight != nil && op.dst != pe.Id() {
+			h.admit(op.dst)
+		}
 		msg := &converse.Message{
 			Handler: h.mgr.handler,
 			Bytes:   op.bytes,
@@ -195,6 +241,9 @@ func (h *Handle) sendBatch(pe *converse.PE, ops []sendOp) {
 
 // deliver runs on the destination PE's scheduler.
 func (h *Handle) deliver(pe *converse.PE, mm m2mMsg) {
+	if h.inflight != nil && mm.src != pe.Id() {
+		h.inflight[pe.Id()].Add(-1)
+	}
 	h.mu.Lock()
 	rs := h.recvs[pe.Id()]
 	h.mu.Unlock()

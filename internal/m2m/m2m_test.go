@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"blueq/internal/converse"
+	"blueq/internal/flowctl"
 	"blueq/internal/pami"
 	"blueq/internal/transport"
 )
@@ -299,5 +300,48 @@ func TestAllToAllAcrossTransports(t *testing.T) {
 				t.Fatalf("completions=%d msgs=%d, want 8/64", completions.Load(), msgs.Load())
 			}
 		})
+	}
+}
+
+// Burst admission: with flow control armed, a fan-in burst toward one
+// slow PE is admitted at most BurstLimit messages at a time. Senders park
+// instead of landing the whole burst at once; everything still arrives.
+func TestBurstAdmissionThrottlesFanIn(t *testing.T) {
+	cfg := converse.Config{
+		Nodes:          2,
+		WorkersPerNode: 2,
+		Mode:           converse.ModeSMP,
+		FlowControl:    &flowctl.Config{BurstLimit: 2, MaxBlock: 10 * time.Second},
+	}
+	const perSender = 20
+	var h *Handle
+	var msgs atomic.Int64
+	runMachine(t, cfg,
+		func(m *converse.Machine, mgr *Manager) {
+			// Every PE floods PE 3, which executes slowly.
+			m.PE(3).SetInvokeDelay(100 * time.Microsecond)
+			h = mgr.NewHandle()
+			n := m.NumPEs()
+			for src := 0; src < n; src++ {
+				src := src
+				for i := 0; i < perSender; i++ {
+					if err := h.RegisterSend(src, 3, src, 32, func() any { return src }); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			err := h.RegisterRecv(3, n*perSender,
+				func(pe *converse.PE, slot, srcPE int, data any) { msgs.Add(1) },
+				func(pe *converse.PE) { pe.Machine().Shutdown() })
+			if err != nil {
+				t.Fatal(err)
+			}
+		},
+		func(pe *converse.PE) { h.Start(pe) })
+	if got := msgs.Load(); got != 4*perSender {
+		t.Fatalf("delivered %d/%d burst messages", got, 4*perSender)
+	}
+	if h.BurstParked() == 0 {
+		t.Fatal("the fan-in never parked on burst admission")
 	}
 }

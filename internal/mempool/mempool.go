@@ -60,6 +60,18 @@ type PoolAllocator struct {
 	pools     []*bufQueue
 	threshold int
 	stats     *Stats
+
+	// Pressure signaling (flow control): live tracks bytes currently
+	// handed out to the application (allocated, not yet freed). When
+	// watermarks are set, crossing soft raises the pressure level to 1
+	// and crossing hard to 2; the flow-control layer shrinks granted
+	// credit windows in response, so senders throttle *before* the
+	// allocator is exhausted. Zero watermarks (the default) disable all
+	// of it — the hot path then pays nothing beyond one predicated load.
+	live       atomic.Int64
+	soft, hard int64
+	level      atomic.Int32
+	onPressure atomic.Value // func(level int)
 }
 
 // NewPoolAllocator creates pools for nthreads threads. threshold <= 0
@@ -79,9 +91,68 @@ func NewPoolAllocator(nthreads, threshold int) *PoolAllocator {
 	return p
 }
 
+// SetWatermarks arms pressure signaling: live outstanding bytes crossing
+// soft report level 1, crossing hard level 2, dropping back under both
+// level 0. soft <= 0 disarms. Call before traffic flows.
+func (p *PoolAllocator) SetWatermarks(soft, hard int64) {
+	if hard < soft {
+		hard = soft
+	}
+	p.soft, p.hard = soft, hard
+}
+
+// OnPressureChange installs a callback invoked (from whatever thread
+// crossed the watermark) each time the pressure level changes. The
+// flow-control controller hooks this to shrink granted windows.
+func (p *PoolAllocator) OnPressureChange(fn func(level int)) { p.onPressure.Store(fn) }
+
+// PressureLevel returns the current level: 0 below soft, 1 at soft, 2 at
+// hard. Always 0 when watermarks are unset.
+func (p *PoolAllocator) PressureLevel() int { return int(p.level.Load()) }
+
+// LiveBytes returns the bytes currently handed out to the application.
+func (p *PoolAllocator) LiveBytes() int64 { return p.live.Load() }
+
+// trackAlloc and trackFree maintain the live count and fire level
+// transitions. Disarmed (soft == 0) they cost one predicated branch.
+func (p *PoolAllocator) trackAlloc(size int) {
+	if p.soft == 0 {
+		return
+	}
+	p.updateLevel(p.live.Add(int64(size)))
+}
+
+func (p *PoolAllocator) trackFree(size int) {
+	if p.soft == 0 {
+		return
+	}
+	p.updateLevel(p.live.Add(int64(-size)))
+}
+
+func (p *PoolAllocator) updateLevel(live int64) {
+	var lvl int32
+	switch {
+	case live >= p.hard:
+		lvl = 2
+	case live >= p.soft:
+		lvl = 1
+	}
+	old := p.level.Load()
+	if lvl == old || !p.level.CompareAndSwap(old, lvl) {
+		return // unchanged, or another thread just transitioned
+	}
+	if obs.On() {
+		mPressure.Set(int64(lvl))
+	}
+	if fn, ok := p.onPressure.Load().(func(int)); ok && fn != nil {
+		fn(int(lvl))
+	}
+}
+
 // Alloc dequeues from the calling thread's pool; on miss it allocates from
 // the heap and brands the buffer with the caller as owner.
 func (p *PoolAllocator) Alloc(tid, size int) *Buffer {
+	p.trackAlloc(size)
 	if b := p.pools[tid].dequeue(); b != nil {
 		if cap(b.Data) >= size {
 			p.stats.PoolHits.Add(1)
@@ -104,6 +175,7 @@ func (p *PoolAllocator) Alloc(tid, size int) *Buffer {
 // this is the operation that removes the arena-mutex contention. If the
 // owner's pool is at its threshold the buffer is released to the heap.
 func (p *PoolAllocator) Free(tid int, b *Buffer) {
+	p.trackFree(len(b.Data))
 	pool := p.pools[b.Owner]
 	if pool.len() >= p.threshold {
 		p.stats.HeapFrees.Add(1)

@@ -211,3 +211,76 @@ func BenchmarkAllocFree64Threads(b *testing.B) {
 		})
 	}
 }
+
+// Watermark pressure signaling: allocations crossing soft then hard raise
+// the level; frees dropping back under both clear it, and the callback
+// fires on every transition.
+func TestPoolAllocatorPressureWatermarks(t *testing.T) {
+	p := NewPoolAllocator(1, 0)
+	p.SetWatermarks(1000, 3000)
+	var transitions []int
+	p.OnPressureChange(func(l int) { transitions = append(transitions, l) })
+
+	a := p.Alloc(0, 500)
+	if p.PressureLevel() != 0 {
+		t.Fatalf("level = %d below soft, want 0", p.PressureLevel())
+	}
+	b := p.Alloc(0, 600) // live 1100 >= soft
+	if p.PressureLevel() != 1 {
+		t.Fatalf("level = %d at soft, want 1", p.PressureLevel())
+	}
+	c := p.Alloc(0, 2000) // live 3100 >= hard
+	if p.PressureLevel() != 2 {
+		t.Fatalf("level = %d at hard, want 2", p.PressureLevel())
+	}
+	if p.LiveBytes() != 3100 {
+		t.Fatalf("LiveBytes = %d, want 3100", p.LiveBytes())
+	}
+	p.Free(0, c) // live 1100: back to soft
+	if p.PressureLevel() != 1 {
+		t.Fatalf("level = %d after big free, want 1", p.PressureLevel())
+	}
+	p.Free(0, b)
+	p.Free(0, a) // live 0
+	if p.PressureLevel() != 0 {
+		t.Fatalf("level = %d after full drain, want 0", p.PressureLevel())
+	}
+	want := []int{1, 2, 1, 0}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+// Unset watermarks must keep the pressure machinery fully disabled.
+func TestPoolAllocatorWatermarksDisabledByDefault(t *testing.T) {
+	p := NewPoolAllocator(1, 0)
+	fired := false
+	p.OnPressureChange(func(int) { fired = true })
+	bufs := make([]*Buffer, 0, 64)
+	for i := 0; i < 64; i++ {
+		bufs = append(bufs, p.Alloc(0, 1<<20))
+	}
+	if p.PressureLevel() != 0 || p.LiveBytes() != 0 || fired {
+		t.Fatalf("disabled watermarks tracked state: level=%d live=%d fired=%v",
+			p.PressureLevel(), p.LiveBytes(), fired)
+	}
+	for _, b := range bufs {
+		p.Free(0, b)
+	}
+}
+
+// A hard watermark below soft is clamped up to soft.
+func TestPoolAllocatorWatermarkClamp(t *testing.T) {
+	p := NewPoolAllocator(1, 0)
+	p.SetWatermarks(4096, 100)
+	b := p.Alloc(0, 5000)
+	if p.PressureLevel() != 2 {
+		t.Fatalf("level = %d past clamped hard, want 2", p.PressureLevel())
+	}
+	p.Free(0, b)
+}

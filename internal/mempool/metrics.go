@@ -15,4 +15,8 @@ var (
 	mPoolDepth = obs.NewGauge("mempool", "pool_depth_high_water")
 	mArenaLock = obs.NewCounter("mempool", "arena_lock_total", 0)
 	mArenaGrow = obs.NewCounter("mempool", "arena_grow_total", 0)
+
+	// Flow-control instrumentation: current pressure level (0 = below soft
+	// watermark, 1 = soft, 2 = hard), set on level transitions only.
+	mPressure = obs.NewGauge("mempool", "mem_pressure_level")
 )

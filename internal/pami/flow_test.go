@@ -1,0 +1,240 @@
+package pami
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blueq/internal/flowctl"
+	"blueq/internal/transport"
+)
+
+// On a reliable transport the credit returns when the receiver dispatches.
+// A tiny window must not deadlock or lose messages: the parked sender's
+// progress closure advances the receiver, which releases credits inline.
+func TestCreditGateReliableDeliversAll(t *testing.T) {
+	tr, err := transport.New("inproc", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	fc := flowctl.NewController(flowctl.Config{Window: 2, MaxBlock: 10 * time.Second}, 2)
+	c := NewClientFlow(tr, 1, fc)
+
+	var delivered atomic.Int64
+	c.Node(1).Context(0).RegisterDispatch(1, func(src int, data any, bytes int) {
+		delivered.Add(1)
+	})
+
+	const msgs = 100
+	for i := 0; i < msgs; i++ {
+		if err := c.Node(0).Context(0).SendImmediate(1, 0, 1, i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Node(1).Context(0).Advance()
+	if got := delivered.Load(); got != msgs {
+		t.Fatalf("delivered %d/%d messages through a 2-credit window", got, msgs)
+	}
+	if fc.Window(0, 1).InFlight() != 0 {
+		t.Fatalf("InFlight = %d after all deliveries, want 0", fc.Window(0, 1).InFlight())
+	}
+	if fc.BlockedTotal() == 0 {
+		t.Fatal("a 2-credit window never parked a 100-message burst")
+	}
+}
+
+// Exempt dispatch ids (control-plane traffic) bypass the credit window on
+// both sides of the channel: no acquire at the sender, no release at the
+// receiver, so the ledger stays balanced at zero.
+func TestCreditExemptDispatchBypasses(t *testing.T) {
+	tr, err := transport.New("inproc", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	fc := flowctl.NewController(flowctl.Config{Window: 1, MaxBlock: 10 * time.Second}, 2)
+	fc.ExemptDispatch(9)
+	c := NewClientFlow(tr, 1, fc)
+
+	var delivered atomic.Int64
+	c.Node(1).Context(0).RegisterDispatch(9, func(src int, data any, bytes int) {
+		delivered.Add(1)
+	})
+
+	// 50 sends through a 1-credit window with no consumer running: exempt
+	// traffic must not park (the test would stall for MaxBlock if it did).
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		if err := c.Node(0).Context(0).SendImmediate(1, 0, 9, i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := time.Since(start); e > time.Second {
+		t.Fatalf("exempt sends took %v — they parked on credits", e)
+	}
+	c.Node(1).Context(0).Advance()
+	if got := delivered.Load(); got != 50 {
+		t.Fatalf("delivered %d/50 exempt messages", got)
+	}
+	if fc.Window(0, 1).InFlight() != 0 {
+		t.Fatalf("InFlight = %d after exempt traffic, want 0", fc.Window(0, 1).InFlight())
+	}
+}
+
+// Self-sends bypass credits symmetrically: no acquire, no release.
+func TestCreditSelfSendBypasses(t *testing.T) {
+	tr, err := transport.New("inproc", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	fc := flowctl.NewController(flowctl.Config{Window: 1, MaxBlock: 10 * time.Second}, 2)
+	c := NewClientFlow(tr, 1, fc)
+	var delivered atomic.Int64
+	c.Node(0).Context(0).RegisterDispatch(1, func(src int, data any, bytes int) {
+		delivered.Add(1)
+	})
+	for i := 0; i < 20; i++ {
+		if err := c.Node(0).Context(0).SendImmediate(0, 0, 1, i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Node(0).Context(0).Advance()
+	if got := delivered.Load(); got != 20 {
+		t.Fatalf("delivered %d/20 self-sends", got)
+	}
+	if fc.Window(0, 0).InFlight() != 0 {
+		t.Fatalf("InFlight = %d on the self window, want 0", fc.Window(0, 0).InFlight())
+	}
+}
+
+// On an unreliable transport credits return at the cumulative ack. After
+// the channel drains, every credit must be home — no leak from drops,
+// duplicates, or retransmissions double-releasing.
+func TestCreditsReleasedOnCumulativeAck(t *testing.T) {
+	tightRetries(t)
+	tr, err := transport.New("faulty:seed=7,drop=0.05,dup=0.02", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	fc := flowctl.NewController(flowctl.Config{Window: 8, MaxBlock: 10 * time.Second}, 2)
+	c := NewClientFlow(tr, 1, fc)
+	defer c.Node(0).Shutdown()
+	defer c.Node(1).Shutdown()
+
+	const msgs = 200
+	var mu sync.Mutex
+	counts := make(map[int]int, msgs)
+	c.Node(1).Context(0).RegisterDispatch(1, func(src int, data any, bytes int) {
+		mu.Lock()
+		counts[data.(int)]++
+		mu.Unlock()
+	})
+	for i := 0; i < msgs; i++ {
+		if err := c.Node(0).Context(0).SendImmediate(1, 0, 1, i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		c.Node(1).Context(0).Advance()
+		c.Node(0).Context(0).Advance()
+		tr.Advance()
+		mu.Lock()
+		n := len(counts)
+		mu.Unlock()
+		if n == msgs && fc.Window(0, 1).InFlight() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d/%d, inflight=%d", n, msgs, fc.Window(0, 1).InFlight())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < msgs; i++ {
+		if counts[i] != 1 {
+			t.Fatalf("message %d dispatched %d times, want exactly once", i, counts[i])
+		}
+	}
+}
+
+// The out-of-order flood regression test: a lossy, delaying transport
+// floods the receiver with gapped sequences while the reorder buffer is
+// capped at 2 entries. Arrivals past the cap are refused and repaired by
+// retransmission; the buffer never exceeds its cap and every message
+// still arrives exactly once, in order.
+func TestReorderBufferCapBoundsFlood(t *testing.T) {
+	tightRetries(t)
+	old := DefaultReorderCap
+	DefaultReorderCap = 2
+	t.Cleanup(func() { DefaultReorderCap = old })
+
+	tr, err := transport.New("faulty:seed=99,drop=0.2,dup=0.05,delayrate=0.3,delaymax=1ms", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	c := NewClient(tr, 1)
+	defer c.Node(0).Shutdown()
+	defer c.Node(1).Shutdown()
+
+	const msgs = 300
+	var mu sync.Mutex
+	counts := make(map[int]int, msgs)
+	order := make([]int, 0, msgs)
+	c.Node(1).Context(0).RegisterDispatch(1, func(src int, data any, bytes int) {
+		mu.Lock()
+		counts[data.(int)]++
+		order = append(order, data.(int))
+		mu.Unlock()
+	})
+	for i := 0; i < msgs; i++ {
+		if err := c.Node(0).Context(0).SendImmediate(1, 0, 1, i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peakBuffered := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		c.Node(1).Context(0).Advance()
+		c.Node(0).Context(0).Advance()
+		tr.Advance()
+		if b := c.Node(1).ReorderBuffered(); b > peakBuffered {
+			peakBuffered = b
+		}
+		mu.Lock()
+		n := len(counts)
+		mu.Unlock()
+		if n == msgs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d/%d under the capped reorder buffer", n, msgs)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if peakBuffered > 2 {
+		t.Fatalf("reorder buffer peaked at %d entries, cap is 2", peakBuffered)
+	}
+	st := c.Node(1).ReliabilityStats()
+	if st.Parked == 0 {
+		t.Fatal("flood never hit the reorder cap — test is not exercising refusal")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < msgs; i++ {
+		if counts[i] != 1 {
+			t.Fatalf("message %d dispatched %d times, want exactly once", i, counts[i])
+		}
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d: FIFO order violated", i, v)
+		}
+	}
+}

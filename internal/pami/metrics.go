@@ -11,4 +11,9 @@ var (
 	mRelRedeliver = obs.NewCounter("pami", "rel_redelivered_total", 0)
 	mRelReorder   = obs.NewCounter("pami", "rel_reorder_total", 0)
 	mRelAckSent   = obs.NewCounter("pami", "rel_ack_total", 0)
+
+	// Flow control: out-of-order arrivals refused at the reorder-buffer
+	// cap (repaired by sender retransmission). Not obs.On()-guarded — the
+	// refusal path is already the slow path.
+	mRelParked = obs.NewCounter("pami", "reorder_parked", 0)
 )

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"blueq/internal/flowctl"
 	"blueq/internal/lockless"
 	"blueq/internal/torus"
 	"blueq/internal/transport"
@@ -40,6 +41,7 @@ type DispatchFn func(src int, data any, bytes int)
 type Client struct {
 	tr    transport.Transport
 	nodes []*Node
+	fc    *flowctl.Controller // nil: flow control disabled
 }
 
 // NewClient creates a client over the given transport, with ctxPerNode
@@ -49,15 +51,30 @@ type Client struct {
 // acknowledge, and senders retransmit unacknowledged packets with
 // exponential backoff.
 func NewClient(tr transport.Transport, ctxPerNode int) *Client {
+	return NewClientFlow(tr, ctxPerNode, nil)
+}
+
+// NewClientFlow is NewClient with a flow-control controller attached.
+// Every non-exempt eager send then acquires a credit on the (src, dst)
+// window before injecting; the credit returns when the receiver dispatches
+// the message (reliable transports) or when the sender's reliability
+// sublayer sees it cumulatively acknowledged (unreliable transports), so
+// a node can never bury a slow peer under an unbounded backlog. fc == nil
+// disables flow control entirely (zero overhead on the send path).
+func NewClientFlow(tr transport.Transport, ctxPerNode int, fc *flowctl.Controller) *Client {
 	if ctxPerNode < 1 {
 		ctxPerNode = 1
 	}
 	reliable := tr.Reliable()
-	c := &Client{tr: tr, nodes: make([]*Node, tr.Nodes())}
+	rcap := DefaultReorderCap
+	if fc != nil && fc.Config().ReorderCap > 0 {
+		rcap = fc.Config().ReorderCap
+	}
+	c := &Client{tr: tr, nodes: make([]*Node, tr.Nodes()), fc: fc}
 	for r := range c.nodes {
 		n := &Node{client: c, rank: r, ep: tr.Endpoint(r)}
 		if !reliable {
-			n.rel = newReliator(n)
+			n.rel = newReliator(n, rcap)
 		}
 		for i := 0; i < ctxPerNode; i++ {
 			ctx := &Context{
@@ -75,8 +92,28 @@ func NewClient(tr transport.Transport, ctxPerNode int) *Client {
 		}
 		c.nodes[r] = n
 	}
+	if fc != nil {
+		// A sender parked on an empty credit window must not depend on
+		// other threads for progress: while parked it advances every
+		// context (trylock — a context busy elsewhere is skipped) so
+		// deliveries and acks that return credits still happen even in
+		// single-threaded drivers.
+		for _, n := range c.nodes {
+			n.progress = func() {
+				for _, m := range c.nodes {
+					for _, ctx := range m.contexts {
+						ctx.Advance()
+					}
+				}
+			}
+		}
+	}
 	return c
 }
+
+// FlowController returns the attached flow-control controller (nil when
+// flow control is disabled).
+func (c *Client) FlowController() *flowctl.Controller { return c.fc }
 
 // NewClientOverNetwork creates a client over a bare functional network,
 // wrapping it in the inproc transport. Convenience for tests and callers
@@ -101,6 +138,7 @@ type Node struct {
 	ep       transport.Endpoint
 	contexts []*Context
 	rel      *reliator // non-nil when the transport is unreliable
+	progress func()    // credit-park progress closure (flow control only)
 }
 
 // Rank returns the node rank.
@@ -174,9 +212,25 @@ func (c *Client) route(dstNode, dstCtx int) (int, error) {
 // inject pushes an eager active-message packet into the transport,
 // detouring through the reliability sublayer when the transport may lose,
 // duplicate, or reorder packets.
+//
+// With flow control attached, a credit on the (src, dst) window is
+// acquired first — one atomic add when credits are available, a bounded
+// park otherwise. Exempt dispatch ids (control-plane traffic: heartbeats,
+// rendezvous acks) and self-sends bypass credits; the receive side skips
+// the matching release by the same predicate, keeping the ledger balanced.
 func (n *Node) inject(dstNode, fifo, bytes int, am amPacket) error {
+	fc := n.client.fc
+	credited := fc != nil && dstNode != n.rank && !fc.Exempt(am.dispatch)
+	if credited {
+		// Proceed regardless of the return: false means the MaxBlock
+		// overdraft fired, and the window already accounts for us.
+		fc.Window(n.rank, dstNode).Acquire(n.progress)
+	}
 	if n.rel != nil {
-		return n.rel.sendEager(dstNode, fifo, bytes, am)
+		// Deferred dispatch ids are released by the layer above when it
+		// executes the message, so the cumulative ack must not release
+		// them a second time.
+		return n.rel.sendEager(dstNode, fifo, bytes, am, credited && !fc.Deferred(am.dispatch))
 	}
 	return n.ep.Inject(torus.Packet{
 		Type:    torus.MemoryFIFO,
@@ -278,6 +332,14 @@ func (ctx *Context) advanceLocked() int {
 			case amPacket:
 				if fn := ctx.dispatch[pl.dispatch]; fn != nil {
 					fn(p.Src, pl.data, pl.bytes)
+				}
+				// Reliable transport: delivery is the credit return point —
+				// unless the dispatch id defers release to the layer above
+				// (it releases when the message executes, bounding the
+				// consumer's backlog, not just the wire).
+				if fc := ctx.node.client.fc; fc != nil && p.Src != ctx.node.rank &&
+					!fc.Exempt(pl.dispatch) && !fc.Deferred(pl.dispatch) {
+					fc.Window(p.Src, ctx.node.rank).Release(1)
 				}
 			case relPacket:
 				// Reliability sublayer: reorder into sequence, dedup, then

@@ -38,6 +38,12 @@ var (
 	RetryBase = 2 * time.Millisecond
 	// RetryMax caps exponential backoff.
 	RetryMax = 100 * time.Millisecond
+	// DefaultReorderCap bounds each receive channel's out-of-order buffer.
+	// An out-of-order arrival finding the buffer full is refused — neither
+	// buffered nor acknowledged — so the sender's retransmission timer
+	// re-offers it once the gap closes: exactly-once delivery with bounded
+	// receiver memory. A flowctl Config overrides it (NewClientFlow).
+	DefaultReorderCap = 512
 )
 
 // relPacket wraps an eager active message with its channel sequence number.
@@ -54,10 +60,11 @@ type relAck struct {
 
 // relSendState is the sender half of one directed node-pair channel.
 type relSendState struct {
-	nextSeq uint64
-	unacked map[uint64]torus.Packet
-	timer   *time.Timer
-	backoff time.Duration
+	nextSeq  uint64
+	unacked  map[uint64]torus.Packet
+	credited map[uint64]struct{} // seqs holding a flow-control credit
+	timer    *time.Timer
+	backoff  time.Duration
 }
 
 // relRecvState is the receiver half: nextExpected is the cumulative
@@ -73,6 +80,7 @@ type ReliabilityStats struct {
 	Retries      int64 // packets retransmitted on timeout
 	Redelivered  int64 // duplicate arrivals suppressed
 	Reordered    int64 // out-of-order arrivals buffered
+	Parked       int64 // out-of-order arrivals refused at the reorder cap
 	AcksSent     int64
 	AcksReceived int64
 }
@@ -82,6 +90,7 @@ type reliator struct {
 	node *Node
 	base time.Duration // RetryBase at construction
 	max  time.Duration // RetryMax at construction
+	rcap int           // reorder buffer cap per channel
 
 	mu    sync.Mutex
 	send  map[int]*relSendState
@@ -90,11 +99,15 @@ type reliator struct {
 	down  bool // Shutdown called: stop arming timers
 }
 
-func newReliator(n *Node) *reliator {
+func newReliator(n *Node, reorderCap int) *reliator {
+	if reorderCap <= 0 {
+		reorderCap = DefaultReorderCap
+	}
 	return &reliator{
 		node: n,
 		base: RetryBase,
 		max:  RetryMax,
+		rcap: reorderCap,
 		send: make(map[int]*relSendState),
 		recv: make(map[int]*relRecvState),
 	}
@@ -112,15 +125,22 @@ func (n *Node) ReliabilityStats() ReliabilityStats {
 }
 
 // sendEager assigns the next channel sequence number, records the packet
-// for retransmission, and injects it.
-func (r *reliator) sendEager(dstNode, fifo, bytes int, am amPacket) error {
+// for retransmission, and injects it. credited marks packets holding a
+// flow-control credit, returned when the cumulative ack covers them.
+func (r *reliator) sendEager(dstNode, fifo, bytes int, am amPacket, credited bool) error {
 	r.mu.Lock()
 	st := r.send[dstNode]
 	if st == nil {
-		st = &relSendState{unacked: make(map[uint64]torus.Packet)}
+		st = &relSendState{
+			unacked:  make(map[uint64]torus.Packet),
+			credited: make(map[uint64]struct{}),
+		}
 		r.send[dstNode] = st
 	}
 	st.nextSeq++
+	if credited {
+		st.credited[st.nextSeq] = struct{}{}
+	}
 	p := torus.Packet{
 		Type:    torus.MemoryFIFO,
 		Dst:     dstNode,
@@ -214,6 +234,16 @@ func (r *reliator) onPacket(src int, pl relPacket) []amPacket {
 			}
 			return nil
 		}
+		if len(st.buffer) >= r.rcap {
+			// Reorder buffer at its cap: refuse the packet — neither
+			// buffered nor covered by the next cumulative ack — and let
+			// the sender's retransmission timer re-offer it after the gap
+			// closes. Receiver memory stays bounded; delivery stays
+			// exactly-once (the horizon dedups any extra copies).
+			r.stats.Parked++
+			mRelParked.Inc(r.node.rank)
+			return nil
+		}
 		r.stats.Reordered++
 		if obs.On() {
 			mRelReorder.Inc(r.node.rank)
@@ -265,18 +295,26 @@ func (r *reliator) sendAck(src int) {
 const ackBytes = 16
 
 // onAck runs on the sending node: every packet at or below cum is
-// delivered, so drop it from the retransmission window.
+// delivered, so drop it from the retransmission window — and return the
+// flow-control credits those packets held (unreliable transports release
+// at the cumulative ack, not at receiver dispatch, because only the ack
+// proves the receiver's reorder buffer is clear of them).
 func (r *reliator) onAck(from int, cum uint64) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.stats.AcksReceived++
 	st := r.send[from]
 	if st == nil {
+		r.mu.Unlock()
 		return
 	}
+	released := 0
 	for seq := range st.unacked {
 		if seq <= cum {
 			delete(st.unacked, seq)
+			if _, ok := st.credited[seq]; ok {
+				delete(st.credited, seq)
+				released++
+			}
 		}
 	}
 	if len(st.unacked) == 0 {
@@ -284,6 +322,12 @@ func (r *reliator) onAck(from int, cum uint64) {
 		if st.timer != nil {
 			st.timer.Stop()
 			st.timer = nil
+		}
+	}
+	r.mu.Unlock()
+	if released > 0 {
+		if fc := r.node.client.fc; fc != nil {
+			fc.Window(r.node.rank, from).Release(released)
 		}
 	}
 }
@@ -302,6 +346,12 @@ func (r *reliator) dropPeer(dstNode int) {
 	for seq := range st.unacked {
 		delete(st.unacked, seq)
 	}
+	// Credits held by the cleared window die with the peer; the
+	// flow-control layer's DropPeer resets the window wholesale, so no
+	// per-seq release is needed — just forget the ledger.
+	for seq := range st.credited {
+		delete(st.credited, seq)
+	}
 	st.backoff = 0
 	if st.timer != nil {
 		st.timer.Stop()
@@ -310,12 +360,34 @@ func (r *reliator) dropPeer(dstNode int) {
 }
 
 // DropPeer abandons reliable delivery to a failed peer (no-op when the
-// transport is reliable). The fault-tolerance layer calls it on every
-// survivor once a failure is confirmed.
+// transport is reliable) and tears down the flow-control windows touching
+// it, releasing any senders parked on credits the dead peer will never
+// return. The fault-tolerance layer calls it on every survivor once a
+// failure is confirmed; the flowctl side is idempotent.
 func (n *Node) DropPeer(dstNode int) {
 	if n.rel != nil {
 		n.rel.dropPeer(dstNode)
 	}
+	if fc := n.client.fc; fc != nil {
+		fc.DropPeer(dstNode)
+	}
+}
+
+// ReorderBuffered returns the total number of out-of-order packets
+// currently parked in this node's reorder buffers across all channels
+// (0 when the transport is reliable). Soak harnesses assert it stays
+// under the configured cap.
+func (n *Node) ReorderBuffered() int {
+	if n.rel == nil {
+		return 0
+	}
+	n.rel.mu.Lock()
+	defer n.rel.mu.Unlock()
+	total := 0
+	for _, st := range n.rel.recv {
+		total += len(st.buffer)
+	}
+	return total
 }
 
 // shutdown cancels pending retransmission timers; called when the machine
