@@ -1,0 +1,170 @@
+// Command benchgate is the perf-regression gate: it parses `go test
+// -bench` output from stdin (or a file), reduces each benchmark to its
+// minimum ns/op across -count repeats — the minimum is the right
+// statistic, since scheduling noise only ever slows a run down — and
+// compares against a checked-in baseline.
+//
+// Gate mode (default): any benchmark slower than baseline × (1 +
+// tolerance) fails the run, as does a baselined benchmark that vanished
+// from the input. Benchmarks present in the input but absent from the
+// baseline are reported and ignored.
+//
+// Refresh mode (-refresh): rewrite the baseline from the parsed input,
+// preserving the existing tolerance. Run this on the reference machine
+// after an intentional perf change:
+//
+//	go test -bench '^(BenchmarkFig5PingPongIntraNode|BenchmarkL2QueueProducers)$' \
+//	  -benchtime=100000x -count=5 -run '^$' . ./internal/lockless |
+//	  go run ./cmd/benchgate -refresh
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// baseline is the schema of bench_baseline.json.
+type baseline struct {
+	// Tolerance is the allowed slowdown fraction (0.15 = 15%).
+	Tolerance float64 `json:"tolerance"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to the
+	// reference ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkFig5PingPongIntraNode/smp-4   12345   9876 ns/op
+//
+// capturing the name without the trailing -GOMAXPROCS and the ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.json", "baseline file to gate against (and to write with -refresh)")
+	refresh := flag.Bool("refresh", false, "rewrite the baseline from the input instead of gating")
+	tolerance := flag.Float64("tolerance", 0, "override the baseline's tolerance (0 = use the file's, default 0.15)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatal("at most one input file (default stdin)")
+	}
+
+	results, err := parse(in)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(results) == 0 {
+		fatal("no benchmark result lines in input")
+	}
+
+	base := baseline{Tolerance: 0.15, Benchmarks: map[string]float64{}}
+	raw, err := os.ReadFile(*baselinePath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatal("parse %s: %v", *baselinePath, err)
+		}
+	case os.IsNotExist(err) && *refresh:
+		// First refresh on a fresh checkout: start from the defaults.
+	default:
+		fatal("read %s: %v (run with -refresh to create it)", *baselinePath, err)
+	}
+	if *tolerance > 0 {
+		base.Tolerance = *tolerance
+	}
+
+	if *refresh {
+		base.Benchmarks = results
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("benchgate: wrote %s with %d benchmarks (tolerance %.0f%%)\n",
+			*baselinePath, len(results), base.Tolerance*100)
+		return
+	}
+
+	failures := 0
+	for _, name := range sortedKeys(base.Benchmarks) {
+		ref := base.Benchmarks[name]
+		got, ok := results[name]
+		if !ok {
+			fmt.Printf("FAIL %-50s baselined but missing from input\n", name)
+			failures++
+			continue
+		}
+		limit := ref * (1 + base.Tolerance)
+		verdict := "ok  "
+		if got > limit {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %-50s %12.0f ns/op (baseline %.0f, limit %.0f, %+.1f%%)\n",
+			verdict, name, got, ref, limit, 100*(got-ref)/ref)
+	}
+	for _, name := range sortedKeys(results) {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("new  %-50s %12.0f ns/op (not in baseline; -refresh to add)\n", name, results[name])
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchgate: %d regression(s) beyond %.0f%% tolerance\n", failures, base.Tolerance*100)
+		fmt.Println("benchgate: if intentional, refresh on the reference machine:")
+		fmt.Printf("  go test -bench <pattern> -count=5 -run '^$' <packages> | go run ./cmd/benchgate -refresh -baseline %s\n", *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within %.0f%% of baseline\n", len(base.Benchmarks), base.Tolerance*100)
+}
+
+// parse reduces bench output to the minimum ns/op per benchmark name.
+func parse(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		if cur, ok := out[m[1]]; !ok || ns < cur {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(2)
+}

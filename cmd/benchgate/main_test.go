@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStripsSuffixAndTakesMin(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+BenchmarkFig5PingPongIntraNode/smp-4   	  500000	      2100 ns/op
+BenchmarkFig5PingPongIntraNode/smp-4   	  600000	      1900 ns/op
+BenchmarkL2QueueProducers/p=1-4        	 9000000	       130.5 ns/op
+BenchmarkL2QueueProducers/p=16-4       	 3000000	       410 ns/op
+PASS
+`
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkFig5PingPongIntraNode/smp": 1900,
+		"BenchmarkL2QueueProducers/p=1":      130.5,
+		"BenchmarkL2QueueProducers/p=16":     410,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestParseIgnoresNonBenchLines(t *testing.T) {
+	got, err := parse(strings.NewReader("ok  \tblueq\t1.2s\nsome log line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %v from non-bench input", got)
+	}
+}

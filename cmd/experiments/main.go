@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"blueq/internal/aggregate"
 	"blueq/internal/cluster"
 	"blueq/internal/converse"
 	"blueq/internal/flowctl"
@@ -35,12 +36,16 @@ func main() {
 	spec := flag.String("transport", "inproc",
 		"transport for the native run: inproc, contended[:scale=F], faulty[:seed=N,drop=F,dup=F,...]")
 	seed := flag.Int64("seed", 0, "seed for faulty-transport and kill-event runs (overrides any seed= in -transport)")
-	only := flag.String("only", "", "run a single section by key (ft) instead of the full suite")
+	only := flag.String("only", "", "run a single section by key (ft, agg) instead of the full suite")
 	phi := flag.Float64("phi", 0, "detector PhiFactor: adaptive suspicion threshold scale (0 = default)")
 	suspectAfter := flag.Duration("suspect-after", 12*time.Millisecond, "detector silence floor before suspecting a peer")
 	flow := flag.Bool("flow", false, "arm credit-based flow control on the native obs run")
 	fcWindow := flag.Int("fc-window", 0, "flow-control credit window per (src,dst) node pair (0 = default)")
 	fcOverflowCap := flag.Int("fc-overflow-cap", 0, "flow-control cap on the lockless overflow queue (0 = default)")
+	agg := flag.Bool("agg", false, "arm the per-destination message aggregation layer on the native obs run")
+	aggBytes := flag.Int("agg-bytes", 0, "aggregation batch size in bytes (0 = default; implies -agg)")
+	aggDelay := flag.Duration("agg-delay", 0, "aggregation max flush delay (0 = default; implies -agg)")
+	aggMsgs := flag.Int("agg-msgs", 200000, "messages per E16 aggregation-sweep cell")
 	flag.Parse()
 	if *seed != 0 {
 		*spec = transport.WithSeed(*spec, *seed)
@@ -54,13 +59,21 @@ func main() {
 	if *flow || *fcWindow > 0 || *fcOverflowCap > 0 {
 		fcc = &flowctl.Config{Window: *fcWindow, OverflowCap: *fcOverflowCap}
 	}
+	agc := aggregate.Config{MaxBatchBytes: *aggBytes, MaxDelay: *aggDelay}
+	var obsAgc *aggregate.Config
+	if *agg || *aggBytes > 0 || *aggDelay > 0 {
+		obsAgc = &agc
+	}
 	if *only != "" {
 		switch *only {
 		case "ft":
 			section("E14: PE failure mid-3D-FFT — detect, restore, replay (internal/ft)")
 			ftRecovery(*seed, det)
+		case "agg":
+			section("E16: message aggregation — flood msgs/sec vs payload size (internal/aggregate)")
+			aggSweep(*aggMsgs, agc)
 		default:
-			log.Fatalf("unknown -only section %q (want ft)", *only)
+			log.Fatalf("unknown -only section %q (want ft, agg)", *only)
 		}
 		return
 	}
@@ -137,17 +150,20 @@ func main() {
 
 	if *metricsPath != "" {
 		section("E13: native runtime observability (internal/obs)")
-		nativeObservability(*metricsPath, *spec, fcc)
+		nativeObservability(*metricsPath, *spec, fcc, obsAgc)
 	}
 
 	section("E14: PE failure mid-3D-FFT — detect, restore, replay (internal/ft)")
 	ftRecovery(*seed, det)
+
+	section("E16: message aggregation — flood msgs/sec vs payload size (internal/aggregate)")
+	aggSweep(*aggMsgs, agc)
 }
 
 // nativeObservability enables the obs instrumentation, drives the native
 // runtime's hot paths (lockless scheduler queues, the pool allocator, the
 // send→deliver latency span), and writes the registry snapshot as JSON.
-func nativeObservability(path, spec string, fcc *flowctl.Config) {
+func nativeObservability(path, spec string, fcc *flowctl.Config, agc *aggregate.Config) {
 	obs.SetEnabled(true)
 	defer obs.SetEnabled(false)
 
@@ -161,7 +177,7 @@ func nativeObservability(path, spec string, fcc *flowctl.Config) {
 		log.Fatal(err)
 	}
 	defer tr.Close()
-	machine, err := converse.NewMachine(converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP, Transport: tr, FlowControl: fcc})
+	machine, err := converse.NewMachine(converse.Config{Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP, Transport: tr, FlowControl: fcc, Aggregation: agc})
 	if err != nil {
 		log.Fatal(err)
 	}

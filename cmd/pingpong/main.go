@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"blueq/internal/aggregate"
 	"blueq/internal/cluster"
 	"blueq/internal/converse"
 	"blueq/internal/flowctl"
@@ -32,6 +33,9 @@ func main() {
 	flow := flag.Bool("flow", false, "arm credit-based flow control on the native run")
 	fcWindow := flag.Int("fc-window", 0, "flow-control credit window per (src,dst) node pair (0 = default)")
 	fcOverflowCap := flag.Int("fc-overflow-cap", 0, "flow-control cap on the lockless overflow queue (0 = default)")
+	agg := flag.Bool("agg", false, "arm the per-destination message aggregation layer on the native run")
+	aggBytes := flag.Int("agg-bytes", 0, "aggregation batch size in bytes (0 = default; implies -agg)")
+	aggDelay := flag.Duration("agg-delay", 0, "aggregation max flush delay (0 = default; implies -agg)")
 	flag.Parse()
 	if *seed != 0 {
 		*spec = transport.WithSeed(*spec, *seed)
@@ -39,6 +43,10 @@ func main() {
 	var fcc *flowctl.Config
 	if *flow || *fcWindow > 0 || *fcOverflowCap > 0 {
 		fcc = &flowctl.Config{Window: *fcWindow, OverflowCap: *fcOverflowCap}
+	}
+	var agc *aggregate.Config
+	if *agg || *aggBytes > 0 || *aggDelay > 0 {
+		agc = &aggregate.Config{MaxBatchBytes: *aggBytes, MaxDelay: *aggDelay}
 	}
 
 	m := cluster.BGQ()
@@ -49,7 +57,7 @@ func main() {
 		fmt.Printf("native in-process ping-pong over %q (wall clock, host-dependent):\n", *spec)
 		ok := true
 		for _, mode := range []converse.Mode{converse.ModeNonSMP, converse.ModeSMP, converse.ModeSMPComm} {
-			res, err := nativePingPong(mode, *rounds, *spec, fcc)
+			res, err := nativePingPong(mode, *rounds, *spec, fcc, agc)
 			if err != nil {
 				fmt.Println("  error:", err)
 				ok = false
@@ -84,14 +92,14 @@ type pingResult struct {
 
 // nativePingPong bounces a message between PEs on two simulated nodes and
 // returns the mean one-way latency plus delivery accounting.
-func nativePingPong(mode converse.Mode, rounds int, spec string, fcc *flowctl.Config) (pingResult, error) {
+func nativePingPong(mode converse.Mode, rounds int, spec string, fcc *flowctl.Config, agc *aggregate.Config) (pingResult, error) {
 	workers := 2
 	tr, err := transport.New(spec, 2, workers)
 	if err != nil {
 		return pingResult{}, err
 	}
 	defer tr.Close()
-	cfg := converse.Config{Nodes: 2, WorkersPerNode: workers, Mode: mode, Transport: tr, FlowControl: fcc}
+	cfg := converse.Config{Nodes: 2, WorkersPerNode: workers, Mode: mode, Transport: tr, FlowControl: fcc, Aggregation: agc}
 	machine, err := converse.NewMachine(cfg)
 	if err != nil {
 		return pingResult{}, err

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blueq/internal/aggregate"
 	"blueq/internal/charm"
 	"blueq/internal/converse"
 	"blueq/internal/fft3d"
@@ -51,6 +52,9 @@ func main() {
 	fcOverflowCap := flag.Int("fc-overflow-cap", 64, "cap on the lockless overflow queue")
 	fcBurst := flag.Int("fc-burst", 0, "m2m burst admission limit (0 = default)")
 	fcMaxBlock := flag.Duration("fc-maxblock", 10*time.Second, "longest a sender parks before overdraft")
+	agg := flag.Bool("agg", false, "arm the per-destination message aggregation layer")
+	aggBytes := flag.Int("agg-bytes", 0, "aggregation batch size in bytes (0 = default; implies -agg)")
+	aggDelay := flag.Duration("agg-delay", 0, "aggregation max flush delay (0 = default; implies -agg)")
 	sweep := flag.Bool("sweep", false, "run the offered-load saturation sweep instead of the soak")
 	flag.Parse()
 
@@ -59,6 +63,10 @@ func main() {
 		OverflowCap: *fcOverflowCap,
 		BurstLimit:  *fcBurst,
 		MaxBlock:    *fcMaxBlock,
+	}
+	var agc *aggregate.Config
+	if *agg || *aggBytes > 0 || *aggDelay > 0 {
+		agc = &aggregate.Config{MaxBatchBytes: *aggBytes, MaxDelay: *aggDelay}
 	}
 
 	var specs []string
@@ -72,7 +80,7 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(specs[0], *slow, fcc, *duration)
+		runSweep(specs[0], *slow, fcc, agc, *duration)
 		return
 	}
 
@@ -97,11 +105,11 @@ func main() {
 			var err error
 			switch w {
 			case "flood":
-				err = runFlood(sp, cell, *slow, fcc)
+				err = runFlood(sp, cell, *slow, fcc, agc)
 			case "fft":
-				err = runFFTSoak(sp, cell, *slow, fcc)
+				err = runFFTSoak(sp, cell, *slow, fcc, agc)
 			case "md":
-				err = runMDSoak(sp, cell, *slow, fcc)
+				err = runMDSoak(sp, cell, *slow, fcc, agc)
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "FAIL %-5s over %s: %v\n", w, sp, err)
@@ -166,7 +174,7 @@ func floodBound(ringSize int, fcc flowctl.Config) int64 {
 // runFlood: one producer floods one consumer that executes every message
 // `slow` late. The strictest cell — the residency bound is tight and
 // exactly-once is checked per message id.
-func runFlood(spec string, d, slow time.Duration, fcc flowctl.Config) error {
+func runFlood(spec string, d, slow time.Duration, fcc flowctl.Config, agc *aggregate.Config) error {
 	const ringSize = 64
 	tr, err := transport.New(spec, 2, 1)
 	if err != nil {
@@ -175,7 +183,7 @@ func runFlood(spec string, d, slow time.Duration, fcc flowctl.Config) error {
 	defer tr.Close()
 	m, err := converse.NewMachine(converse.Config{
 		Nodes: 2, WorkersPerNode: 1, Mode: converse.ModeSMP,
-		Transport: tr, RingSize: ringSize, FlowControl: &fcc,
+		Transport: tr, RingSize: ringSize, FlowControl: &fcc, Aggregation: agc,
 	})
 	if err != nil {
 		return err
@@ -261,7 +269,7 @@ func runFlood(spec string, d, slow time.Duration, fcc flowctl.Config) error {
 // budget expires. Each iteration's transposes must arrive exactly once or
 // the pencil completion counts wedge the engine — finishing iterations at
 // all is the delivery check.
-func runFFTSoak(spec string, d, slow time.Duration, fcc flowctl.Config) error {
+func runFFTSoak(spec string, d, slow time.Duration, fcc flowctl.Config, agc *aggregate.Config) error {
 	const nodes = 4
 	tr, err := transport.New(spec, nodes, 1)
 	if err != nil {
@@ -270,7 +278,7 @@ func runFFTSoak(spec string, d, slow time.Duration, fcc flowctl.Config) error {
 	defer tr.Close()
 	rt, err := charm.NewRuntime(converse.Config{
 		Nodes: nodes, WorkersPerNode: 1, Mode: converse.ModeSMP,
-		Transport: tr, FlowControl: &fcc,
+		Transport: tr, FlowControl: &fcc, Aggregation: agc,
 	})
 	if err != nil {
 		return err
@@ -340,7 +348,7 @@ func runFFTSoak(spec string, d, slow time.Duration, fcc flowctl.Config) error {
 // until the budget expires. A run only returns when every patch exchange
 // and reduction completed, so completed runs are the progress/delivery
 // check; energies must stay finite.
-func runMDSoak(spec string, d, slow time.Duration, fcc flowctl.Config) error {
+func runMDSoak(spec string, d, slow time.Duration, fcc flowctl.Config, agc *aggregate.Config) error {
 	deadline := time.Now().Add(d)
 	sims := 0
 	var peakResident, peakReorder int64
@@ -357,7 +365,7 @@ func runMDSoak(spec string, d, slow time.Duration, fcc flowctl.Config) error {
 			DT:        2e-4, Steps: 3,
 			Runtime: converse.Config{
 				Nodes: 2, WorkersPerNode: 2, Mode: converse.ModeSMP,
-				Transport: tr, FlowControl: &fcc,
+				Transport: tr, FlowControl: &fcc, Aggregation: agc,
 			},
 		})
 		if err != nil {
@@ -395,7 +403,7 @@ func runMDSoak(spec string, d, slow time.Duration, fcc flowctl.Config) error {
 // Below the knee the runtime keeps up; above it, delivery plateaus at the
 // consumer's capacity while the resident backlog stays pinned at the
 // flow-control bound instead of growing with the excess.
-func runSweep(spec string, slow time.Duration, fcc flowctl.Config, budget time.Duration) {
+func runSweep(spec string, slow time.Duration, fcc flowctl.Config, agc *aggregate.Config, budget time.Duration) {
 	// The consumer's delay is a time.Sleep whose effective cost is
 	// dominated by timer granularity at microsecond settings — calibrate
 	// the real per-message cost instead of trusting 1/slow.
@@ -415,7 +423,7 @@ func runSweep(spec string, slow time.Duration, fcc flowctl.Config, budget time.D
 	fmt.Printf("%14s %14s %14s %14s %10s\n", "offered msg/s", "achieved msg/s", "utilization", "peak resident", "parked")
 	for _, mult := range multipliers {
 		offered := capacity * mult
-		achieved, peak, parked, err := sweepCell(spec, cell, slow, offered, fcc)
+		achieved, peak, parked, err := sweepCell(spec, cell, slow, offered, fcc, agc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sweep cell %.0f/s: %v\n", offered, err)
 			os.Exit(1)
@@ -427,7 +435,7 @@ func runSweep(spec string, slow time.Duration, fcc flowctl.Config, budget time.D
 
 // sweepCell paces the producer at the offered rate for the cell duration
 // and measures what the slowed consumer actually executed in that window.
-func sweepCell(spec string, d, slow time.Duration, offered float64, fcc flowctl.Config) (achieved float64, peak, parked int64, err error) {
+func sweepCell(spec string, d, slow time.Duration, offered float64, fcc flowctl.Config, agc *aggregate.Config) (achieved float64, peak, parked int64, err error) {
 	const ringSize = 64
 	tr, err := transport.New(spec, 2, 1)
 	if err != nil {
@@ -436,7 +444,7 @@ func sweepCell(spec string, d, slow time.Duration, offered float64, fcc flowctl.
 	defer tr.Close()
 	m, err := converse.NewMachine(converse.Config{
 		Nodes: 2, WorkersPerNode: 1, Mode: converse.ModeSMP,
-		Transport: tr, RingSize: ringSize, FlowControl: &fcc,
+		Transport: tr, RingSize: ringSize, FlowControl: &fcc, Aggregation: agc,
 	})
 	if err != nil {
 		return 0, 0, 0, err

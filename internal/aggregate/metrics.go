@@ -1,0 +1,18 @@
+package aggregate
+
+import "blueq/internal/obs"
+
+// Package-level metrics, sharded by the sending node's rank. Guarded by
+// obs.On() at every call site so the disabled path costs one atomic load.
+var (
+	mAppend    = obs.NewCounter("aggregate", "appends", 0)
+	mBatches   = obs.NewCounter("aggregate", "batches", 0)
+	mBatchMsgs = obs.NewHistogram("aggregate", "msgs_per_batch", 0)
+
+	mFlushReason = [numReasons]*obs.Counter{
+		FlushFull:     obs.NewCounter("aggregate", "flush_full", 0),
+		FlushTimer:    obs.NewCounter("aggregate", "flush_timer", 0),
+		FlushIdle:     obs.NewCounter("aggregate", "flush_idle", 0),
+		FlushExplicit: obs.NewCounter("aggregate", "flush_explicit", 0),
+	}
+)

@@ -148,7 +148,14 @@ func (rt *Runtime) send(pe *converse.PE, dstPE int, cm charmMsg, bytes, prio int
 		mMsgsSent.Inc(pe.Id())
 		mBytesSent.Add(pe.Id(), int64(bytes))
 	}
-	return pe.Send(dstPE, &converse.Message{Handler: rt.handler, Bytes: bytes, Prio: prio, Payload: cm})
+	// Reduction contributions sit on a collective's critical path: the
+	// root cannot fold until the last contribution lands, so batching any
+	// of them for company stretches the whole reduction. They bypass the
+	// aggregation layer.
+	return pe.Send(dstPE, &converse.Message{
+		Handler: rt.handler, Bytes: bytes, Prio: prio, Payload: cm,
+		NoAgg: cm.kind == kindReduction,
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,98 @@
+package charm
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blueq/internal/aggregate"
+	"blueq/internal/converse"
+	"blueq/internal/pami"
+	"blueq/internal/transport"
+)
+
+// tightFaultyRetries shrinks the PAMI retransmission timers so reductions
+// over lossy transports repair drops in milliseconds.
+func tightFaultyRetries(t *testing.T) {
+	t.Helper()
+	base, max := pami.RetryBase, pami.RetryMax
+	pami.RetryBase, pami.RetryMax = 200*time.Microsecond, 2*time.Millisecond
+	t.Cleanup(func() { pami.RetryBase, pami.RetryMax = base, max })
+}
+
+// A tree reduction over a lossy transport fires exactly once and the
+// result is bitwise-stable: the same bits with and without the aggregation
+// layer, across repeated runs, under drops and duplicates. The contributed
+// vectors are integer-valued, so floating-point addition is exact and any
+// bit difference can only come from a lost, duplicated, or double-counted
+// contribution — the failure modes the reliability layer (and the
+// aggregation layer's NoAgg bypass for reduction messages) must mask.
+func TestReductionFaultyBitwiseStable(t *testing.T) {
+	tightFaultyRetries(t)
+	const n = 24
+	wantSum := float64(n * (n - 1) / 2)
+
+	run := func(t *testing.T, agc *aggregate.Config, seed string) []uint64 {
+		const nodes, workers = 3, 2
+		tr, err := transport.New("faulty:seed="+seed+",drop=0.08,dup=0.04,delayrate=0.2,delaymax=200us", nodes, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		var result atomic.Value
+		var fires atomic.Int64
+		var a *Array
+		var eGo int
+		runRT(t,
+			converse.Config{
+				Nodes: nodes, WorkersPerNode: workers, Mode: converse.ModeSMP,
+				Transport: tr, Aggregation: agc,
+			},
+			func(rt *Runtime) {
+				a = rt.NewArray("red", n, func(idx int) Element { return nil })
+				eGo = a.Entry(func(pe *converse.PE, elem Element, idx int, payload any) {
+					err := a.Contribute(pe, 1, []float64{float64(idx), 1, float64(3 * idx)}, ReduceSum,
+						func(pe *converse.PE, res []float64) {
+							fires.Add(1)
+							result.Store(append([]float64(nil), res...))
+							pe.Machine().Shutdown()
+						})
+					if err != nil {
+						t.Errorf("contribute: %v", err)
+					}
+				})
+			},
+			func(pe *converse.PE) {
+				if err := a.Broadcast(pe, eGo, nil, 8); err != nil {
+					t.Errorf("broadcast: %v", err)
+				}
+			})
+		if fires.Load() != 1 {
+			t.Fatalf("reduction fired %d times, want exactly once", fires.Load())
+		}
+		res := result.Load().([]float64)
+		if res[0] != wantSum || res[1] != n || res[2] != 3*wantSum {
+			t.Fatalf("reduction = %v, want [%v %v %v]", res, wantSum, float64(n), 3*wantSum)
+		}
+		bits := make([]uint64, len(res))
+		for i, v := range res {
+			bits[i] = math.Float64bits(v)
+		}
+		return bits
+	}
+
+	for _, seed := range []string{"7", "19"} {
+		t.Run("seed="+seed, func(t *testing.T) {
+			off := run(t, nil, seed)
+			on := run(t, &aggregate.Config{}, seed)
+			again := run(t, &aggregate.Config{}, seed)
+			for i := range off {
+				if off[i] != on[i] || on[i] != again[i] {
+					t.Fatalf("element %d not bitwise-stable: off=%#x on=%#x again=%#x",
+						i, off[i], on[i], again[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package converse
+
+import (
+	"blueq/internal/aggregate"
+)
+
+// Converse wiring for the TRAM-style aggregation layer (internal/aggregate).
+//
+// Sender side: PE.Send diverts small remote messages into the node's
+// per-destination batch buffers. Flow-control credits are charged per
+// message at append time — the batch envelope itself rides credit-exempt
+// on dispAggBatch — and released per message when the destination PE
+// executes it (the same deferred-release point as unaggregated converse
+// traffic), so the window bounds the consumer's backlog identically
+// whether messages travel alone or batched.
+//
+// Receiver side: one dispatch unpacks the whole batch and enqueues each
+// inner message on its destination worker's scheduler queue — one PAMI
+// inject, one reliability sequence number, and one dispatch cover N
+// messages. The reliability sublayer sequences and dedups the batch as a
+// single packet, so drop/dup repair needs no per-inner-message state.
+
+// initAggregator builds the node's aggregator. The flush callback injects
+// the batch through context 0 on dispAggBatch; flushes run on worker PEs
+// (full, idle, explicit) or timer goroutines (MaxDelay), both of which the
+// PAMI layer already tolerates — reliability retransmissions inject from
+// timers the same way.
+func (n *SMPNode) initAggregator(cfg aggregate.Config) {
+	m := n.machine
+	n.agg = aggregate.New(cfg, n.rank, m.cfg.Nodes, n.alloc, func(dst int, b *aggregate.Batch) {
+		// A failed inject (endpoints shut down mid-flush) drops the batch,
+		// the same fail-stop fate as packets in a dead node's FIFOs.
+		_ = n.contexts[0].Send(dst, 0, m.dispAggBatch, b, b.WireBytes(), nil)
+	})
+	n.aggProgress = func() {
+		n.agg.FlushAll(aggregate.FlushExplicit)
+		for _, nd := range m.nodes {
+			for _, ctx := range nd.contexts {
+				ctx.Advance()
+			}
+		}
+	}
+}
+
+// sendAggregated buffers one small remote message. The credit is acquired
+// here, before the append: a buffered message already occupies its slot in
+// the destination's backlog bound. The progress closure run while parked
+// flushes this node's own buffers — without that, a window fully consumed
+// by messages sitting in our buffer could never drain itself.
+func (pe *PE) sendAggregated(target *PE, msg *Message) error {
+	node := pe.node
+	m := node.machine
+	dst := target.node.rank
+	if m.fc != nil {
+		m.fc.Window(node.rank, dst).Acquire(node.aggProgress)
+	}
+	if !node.agg.Append(dst, pe.local, msg, msg.Bytes) {
+		// Aggregator closed (shutdown or halt raced the send): give the
+		// credit back and take the direct path, which charges its own.
+		if m.fc != nil {
+			m.fc.Window(node.rank, dst).Release(1)
+		}
+		return pe.sendDirect(target, msg)
+	}
+	return nil
+}
+
+// onAggBatch is the dispAggBatch dispatch callback: unpack the batch,
+// enqueue every inner message locally, and hand the batch back to the
+// sender's recycle pool. Each inner message is marked viaNet so its credit
+// releases when it executes — identical accounting to a message that
+// travelled alone on dispConverse.
+func (n *SMPNode) onAggBatch(src int, data any, bytes int) {
+	b := data.(*aggregate.Batch)
+	markNet := n.machine.fc != nil && src != n.rank
+	if len(n.pes) == 1 {
+		// Single-worker node: the whole batch lands on one scheduler queue
+		// in one ring reservation and one wakeup. Items is handed to the
+		// queue directly — EnqueueBatch copies into ring slots before
+		// returning, so the Recycle below cannot race the consumer.
+		if markNet {
+			for _, it := range b.Items {
+				msg := it.(*Message)
+				msg.viaNet = true
+				msg.fromNode = src
+			}
+		}
+		n.pes[0].enqueueBatch(b.Items)
+	} else {
+		perPE := make([][]any, len(n.pes))
+		for _, it := range b.Items {
+			msg := it.(*Message)
+			if markNet {
+				msg.viaNet = true
+				msg.fromNode = src
+			}
+			perPE[msg.destLocal] = append(perPE[msg.destLocal], msg)
+		}
+		for w, msgs := range perPE {
+			if len(msgs) > 0 {
+				n.pes[w].enqueueBatch(msgs)
+			}
+		}
+	}
+	if srcAgg := n.machine.nodes[src].agg; srcAgg != nil {
+		srcAgg.Recycle(b)
+	}
+}
+
+// Aggregator returns the node's aggregation layer, nil when Aggregation
+// is not configured.
+func (n *SMPNode) Aggregator() *aggregate.Aggregator { return n.agg }
+
+// AggregationOn reports whether the aggregation layer is armed.
+func (m *Machine) AggregationOn() bool {
+	return len(m.nodes) > 0 && m.nodes[0].agg != nil
+}
+
+// FlushAggregation flushes every node's open batch buffers — the explicit
+// flush barriers, checkpoints, and recovery quiescence waits need before
+// they can trust in-flight accounting. No-op when aggregation is off.
+func (m *Machine) FlushAggregation() {
+	for _, node := range m.nodes {
+		if node.agg != nil {
+			node.agg.FlushAll(aggregate.FlushExplicit)
+		}
+	}
+}

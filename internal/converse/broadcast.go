@@ -11,8 +11,9 @@ import (
 // and fans out to the local PEs of each node by pointer exchange — the
 // way Charm++ broadcasts avoid serializing on the root's injection FIFOs.
 
-// bcastFanout is the tree arity over nodes.
-const bcastFanout = 4
+// DefaultBroadcastFanout is the tree arity over nodes when
+// Config.BroadcastFanout is left zero.
+const DefaultBroadcastFanout = 4
 
 // bcastMsg wraps the user message with tree-routing state.
 type bcastMsg struct {
@@ -46,9 +47,10 @@ func (pe *PE) Broadcast(msg *Message) error {
 func (n *SMPNode) onBroadcast(pe *PE, bm *bcastMsg) {
 	m := n.machine
 	nodes := len(m.nodes)
+	fanout := m.cfg.BroadcastFanout
 	rel := (n.rank - bm.root + nodes) % nodes
-	for k := 1; k <= bcastFanout; k++ {
-		childRel := rel*bcastFanout + k
+	for k := 1; k <= fanout; k++ {
+		childRel := rel*fanout + k
 		if childRel >= nodes {
 			break
 		}
@@ -94,6 +96,10 @@ func (pe *PE) BroadcastOthers(msg *Message) error {
 			continue
 		}
 		clone := *msg
+		// Broadcast clones bypass aggregation: the collective completes
+		// when its slowest leg lands, so buffering any leg for company
+		// stretches the whole operation.
+		clone.NoAgg = true
 		if err := pe.Send(dst, &clone); err != nil {
 			return err
 		}

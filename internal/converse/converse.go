@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blueq/internal/aggregate"
 	"blueq/internal/flowctl"
 	"blueq/internal/lockless"
 	"blueq/internal/mempool"
@@ -97,6 +98,20 @@ type Config struct {
 	// where the timers would be pure overhead. NewMachine defaults it to
 	// DefaultRendezvousTimeout when the transport is unreliable.
 	RendezvousTimeout time.Duration
+	// Aggregation, when non-nil, arms the TRAM-style per-destination
+	// message aggregation layer: small remote messages (at or below
+	// Aggregation.MaxMsgBytes) append into per-(src node, dst node) batch
+	// buffers and travel as one PAMI inject per batch, flushed when full,
+	// when Aggregation.MaxDelay expires, or — immediately — when the
+	// sending scheduler goes idle. Zero-valued fields inside take their
+	// defaults. Self-sends, broadcasts, reductions, and messages marked
+	// NoAgg bypass the layer. Nil (the default) keeps the one-inject-per-
+	// message path.
+	Aggregation *aggregate.Config
+	// BroadcastFanout is the spanning-tree arity for Broadcast (children
+	// per node). Zero selects the default of 4; values below 2 are
+	// rejected (a unary tree serializes the broadcast on a chain).
+	BroadcastFanout int
 	// FlowControl, when non-nil, arms the end-to-end flow-control and
 	// overload-protection layer: per-(src,dst) eager-send credit windows
 	// on the PAMI channel, hard caps on the lockless overflow queues and
@@ -130,6 +145,12 @@ func (c *Config) normalize() error {
 	if c.Mode != ModeSMPComm {
 		c.CommThreads = 0
 	}
+	if c.BroadcastFanout == 0 {
+		c.BroadcastFanout = DefaultBroadcastFanout
+	}
+	if c.BroadcastFanout < 2 {
+		return fmt.Errorf("converse: BroadcastFanout = %d, must be >= 2", c.BroadcastFanout)
+	}
 	return nil
 }
 
@@ -151,6 +172,12 @@ type Message struct {
 	// memory pressure), Send counts and discards it instead of queueing.
 	// Reliable traffic leaves this false and is never shed.
 	BestEffort bool
+	// NoAgg opts the message out of the aggregation layer even when it is
+	// armed and the message is small enough: it is injected individually.
+	// Broadcast tree traffic and reduction contributions set it — their
+	// latency is on the critical path of a collective, and a broadcast
+	// payload shared across clones must not be batched per-destination.
+	NoAgg bool
 
 	seq       uint64 // FIFO tie-break within equal priorities
 	destLocal int    // worker rank within the destination node
@@ -183,6 +210,7 @@ type Machine struct {
 	dispConverse   int
 	dispRendezvous int
 	dispRzvAck     int
+	dispAggBatch   int
 
 	// fc is the flow-control controller, nil unless Config.FlowControl
 	// was set.
@@ -238,6 +266,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		dispConverse:   1,
 		dispRendezvous: 2,
 		dispRzvAck:     3,
+		dispAggBatch:   4,
 	}
 	if fc != nil {
 		// Rendezvous acks complete transfers that free receiver memory;
@@ -247,6 +276,11 @@ func NewMachine(cfg Config) (*Machine, error) {
 		// dispatch.
 		fc.ExemptDispatch(m.dispRzvAck)
 		fc.DeferRelease(m.dispConverse)
+		// Aggregated batches are credit-exempt at inject: each inner
+		// message already charged its own credit when it was appended to
+		// the batch (sendAggregated), released when the destination PE
+		// executes it. Charging the envelope too would double-bill.
+		fc.ExemptDispatch(m.dispAggBatch)
 	}
 	if cfg.RendezvousTimeout > 0 {
 		m.rzvPend = make(map[uint64]*rzvPending)
@@ -287,6 +321,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 			ctx := m.client.Node(r).Context(c)
 			node.contexts = append(node.contexts, ctx)
 			ctx.RegisterDispatch(m.dispConverse, node.onNetworkMessage)
+			ctx.RegisterDispatch(m.dispAggBatch, node.onAggBatch)
+		}
+		if cfg.Aggregation != nil && cfg.Nodes > 1 {
+			node.initAggregator(*cfg.Aggregation)
 		}
 		// Without comm threads each worker owns its context's wakeups.
 		if cfg.Mode != ModeSMPComm {
@@ -377,6 +415,13 @@ func (m *Machine) Shutdown() {
 	for _, fn := range hooks {
 		fn()
 	}
+	// Final aggregation flush before the PAMI clients stop, so nothing a
+	// handler sent in its last breath dies in a batch buffer.
+	for _, node := range m.nodes {
+		if node.agg != nil {
+			node.agg.Close()
+		}
+	}
 	for _, node := range m.nodes {
 		m.client.Node(node.rank).Shutdown()
 	}
@@ -408,6 +453,11 @@ func (m *Machine) OnShutdown(fn func()) {
 func (m *Machine) HaltNode(rank int) {
 	node := m.nodes[rank]
 	node.dead.Store(true)
+	// Batches buffered on the dying node die with it — fail-stop, exactly
+	// like packets sitting in a powered-off node's injection FIFOs.
+	if node.agg != nil {
+		node.agg.Discard()
+	}
 	// The dead node will never ack anything again: stop its reliability
 	// retransmission timers now rather than letting them fire pointlessly
 	// until machine teardown, and tear down its credit windows so any
@@ -491,6 +541,15 @@ type SMPNode struct {
 	comm     []*pami.CommThread
 	alloc    mempool.Allocator
 
+	// agg is the node's outgoing aggregation layer, nil unless
+	// Config.Aggregation was set (and the machine spans >1 node).
+	// aggProgress is the closure a sender parked on a credit runs: it
+	// flushes this node's buffers (buffered messages hold credits, so a
+	// full window must be able to drain itself) and advances every
+	// context so deliveries and releases happen even single-threaded.
+	agg         *aggregate.Aggregator
+	aggProgress func()
+
 	// fail-stop state: dead stops the node's PE run loops; halted closes
 	// (via haltOnce) when the last of them has exited.
 	dead     atomic.Bool
@@ -568,8 +627,7 @@ type PE struct {
 	queue lockless.Queue
 	wake  *wakeup.Unit
 
-	prioq    msgHeap
-	seq      uint64
+	sched    schedq
 	executed atomic.Int64
 	idles    atomic.Int64
 	enqueued atomic.Int64
@@ -624,6 +682,21 @@ func (pe *PE) enqueue(msg *Message) {
 	pe.wake.Signal()
 }
 
+// enqueueBatch lands a run of messages bound for this PE with one counter
+// update, one ring reservation, and one wakeup — the receive-side half of
+// the aggregation amortization.
+func (pe *PE) enqueueBatch(msgs []any) {
+	pe.enqueued.Add(int64(len(msgs)))
+	if obs.On() {
+		now := time.Now().UnixNano()
+		for _, m := range msgs {
+			m.(*Message).enqNS = now
+		}
+	}
+	pe.queue.EnqueueBatch(msgs)
+	pe.wake.Signal()
+}
+
 // destLocal on Message routes to the right worker within a node.
 // (kept unexported; set by Send)
 
@@ -656,12 +729,22 @@ func (pe *PE) Send(dst int, msg *Message) error {
 		mSendRemote.Inc(pe.id)
 		mSendBytes.Add(pe.id, int64(msg.Bytes))
 	}
+	if agg := pe.node.agg; agg != nil && !msg.NoAgg && agg.Eligible(msg.Bytes) {
+		return pe.sendAggregated(target, msg)
+	}
 	if msg.Bytes > RendezvousThreshold {
 		if obs.On() {
 			mSendRzv.Inc(pe.id)
 		}
 		return pe.sendRendezvous(target, msg)
 	}
+	return pe.sendDirect(target, msg)
+}
+
+// sendDirect injects one message on its own: the pre-aggregation eager
+// path, also the fallback when the aggregator has closed.
+func (pe *PE) sendDirect(target *PE, msg *Message) error {
+	m := pe.node.machine
 	ctx := pe.node.contexts[pe.local%len(pe.node.contexts)]
 	if msg.Bytes <= pami.ShortLimit {
 		if obs.On() {
@@ -690,34 +773,38 @@ func (pe *PE) run(initPE func(pe *PE)) {
 	}
 	selfAdvance := m.cfg.Mode != ModeSMPComm
 	myCtx := pe.node.contexts[pe.local%len(pe.node.contexts)]
-	// With flow control armed, the scheduler pulls only enough messages
-	// to keep its priority queue primed. Pulling everything (the default)
-	// would drain the capped lockless queue into an unbounded heap,
-	// moving the backlog out of the structure producers park on — the
-	// backpressure would never reach them.
-	pullBound := -1
-	if m.fc != nil {
-		pullBound = schedPullBound
-	}
+	// The scheduler pulls only enough messages to keep its priority queue
+	// primed. Pulling everything would drain the lockless queue into an
+	// unbounded heap — with flow control armed that moves the backlog out
+	// of the structure producers park on (backpressure never reaches
+	// them), and under burst arrival (aggregated batches land 64 messages
+	// per dispatch) it turns every pop into an O(log backlog) heap walk.
+	// Bounded, the heap stays at scheduling-window size: priorities still
+	// reorder a meaningful window of pending work, and FIFO order within a
+	// priority is unchanged because pull order is arrival order.
 	const idleSpins = 64
 	spins := 0
 	for !m.stopped.Load() && !pe.node.dead.Load() {
 		progressed := false
 		// Pull available messages into the local priority queue, then run
 		// the best one.
-		for pullBound < 0 || pe.prioq.Len() < pullBound {
+		for pe.sched.len() < schedPullBound {
 			v, ok := pe.queue.Dequeue()
 			if !ok {
 				break
 			}
-			msg := v.(*Message)
-			msg.seq = pe.seq
-			pe.seq++
-			heap.Push(&pe.prioq, msg)
+			pe.sched.push(v.(*Message))
 		}
-		if pe.prioq.Len() > 0 {
-			msg := heap.Pop(&pe.prioq).(*Message)
-			pe.invoke(msg)
+		// Invoke a short burst between network advances: one Advance per
+		// message (a context TryLock plus an empty poll, usually) costs more
+		// than the dispatch it's amortizing once batches land 64 messages at
+		// a time. The burst is short enough that priority arrivals and the
+		// stop flag are still observed promptly.
+		for i := 0; i < schedInvokeBurst && pe.sched.len() > 0; i++ {
+			if m.stopped.Load() || pe.node.dead.Load() {
+				break
+			}
+			pe.invoke(pe.sched.pop())
 			progressed = true
 		}
 		if selfAdvance {
@@ -728,6 +815,14 @@ func (pe *PE) run(initPE func(pe *PE)) {
 		if progressed {
 			spins = 0
 			continue
+		}
+		// Adaptive flush: an idle scheduler has nothing to gain from
+		// waiting out MaxDelay — tighten the effective delay to zero so
+		// latency-sensitive request/response traffic (ping-pong) pays no
+		// batching penalty. Pending()==0 makes this one atomic load on the
+		// common empty path.
+		if agg := pe.node.agg; agg != nil && agg.Pending() > 0 {
+			agg.FlushAll(aggregate.FlushIdle)
 		}
 		pe.idles.Add(1)
 		if obs.On() {
@@ -756,6 +851,11 @@ func (pe *PE) run(initPE func(pe *PE)) {
 // window of work; shallow enough that backpressure reaches producers.
 const schedPullBound = 64
 
+// schedInvokeBurst is how many scheduled messages run between network
+// advances. Small enough that incoming traffic and shutdown are noticed
+// within a few handler executions, large enough to amortize the advance.
+const schedInvokeBurst = 8
+
 func (pe *PE) invoke(msg *Message) {
 	m := pe.node.machine
 	if msg.Handler < 0 || msg.Handler >= len(m.handlers) {
@@ -778,6 +878,46 @@ func (pe *PE) invoke(msg *Message) {
 		// put another one in flight.
 		m.fc.Window(msg.fromNode, pe.node.rank).Release(1)
 	}
+}
+
+// schedq is the PE's local scheduling window. Messages at the default
+// priority (Prio == 0, the overwhelming majority) sit in a FIFO ring and
+// pay no comparisons; only explicitly prioritized messages go through heap
+// maintenance. Pop order is identical to a single (Prio, seq) heap: the
+// heap holds only non-zero priorities, so the front of the FIFO and the
+// top of the heap never tie and the winner is decided by priority alone,
+// while order within each structure is arrival order.
+type schedq struct {
+	fifo []*Message // Prio == 0, arrival order
+	head int        // index of the FIFO front
+	heap msgHeap    // Prio != 0, ordered by (Prio, seq)
+	seq  uint64     // arrival stamp for the heap's FIFO tie-break
+}
+
+func (q *schedq) push(msg *Message) {
+	if msg.Prio == 0 {
+		q.fifo = append(q.fifo, msg)
+		return
+	}
+	msg.seq = q.seq
+	q.seq++
+	heap.Push(&q.heap, msg)
+}
+
+func (q *schedq) len() int { return len(q.fifo) - q.head + len(q.heap) }
+
+func (q *schedq) pop() *Message {
+	if q.head < len(q.fifo) && (len(q.heap) == 0 || q.heap[0].Prio > 0) {
+		msg := q.fifo[q.head]
+		q.fifo[q.head] = nil
+		q.head++
+		if q.head == len(q.fifo) {
+			q.fifo = q.fifo[:0]
+			q.head = 0
+		}
+		return msg
+	}
+	return heap.Pop(&q.heap).(*Message)
 }
 
 // msgHeap orders messages by (Prio, seq): Charm++'s prioritized scheduler

@@ -173,6 +173,13 @@ func (mgr *Manager) Checkpoint(pe *converse.PE, cont func(pe *converse.PE)) erro
 	mgr.round = &ckptRound{epoch: epoch, need: 2 * len(live) * mgr.wpn, cont: cont}
 	mgr.ckptMu.Unlock()
 
+	// The caller promises quiescence for protected-array traffic, but the
+	// aggregation layer may still hold application messages from the final
+	// pre-checkpoint exchange in its batch buffers. Flush them now so the
+	// packed state reflects every message that was logically sent before
+	// the epoch, and none can die buffered on a node that fails later.
+	mgr.m.FlushAggregation()
+
 	var app []byte
 	if pack, _ := mgr.appHooks(); pack != nil {
 		app = pack()

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"blueq/internal/aggregate"
 	"blueq/internal/charm"
 	"blueq/internal/converse"
 	"blueq/internal/fft3d"
@@ -24,10 +25,13 @@ type fftResult struct {
 // tolerance attached: an initial checkpoint, one checkpoint per iteration,
 // and (when killPE >= 0) a fail-stop of killPE's node injected right after
 // iteration 3 launches.
-func runFFT(t *testing.T, spec string, ftCfg Config, killPE, iters int) fftResult {
+func runFFT(t *testing.T, spec string, ftCfg Config, killPE, iters int, agc ...*aggregate.Config) fftResult {
 	t.Helper()
 	const nodes = 4
 	conv := converse.Config{Nodes: nodes, WorkersPerNode: 1, Mode: converse.ModeSMP}
+	if len(agc) > 0 {
+		conv.Aggregation = agc[0]
+	}
 	if spec != "" {
 		tr, err := transport.New(spec, nodes, 1)
 		if err != nil {
@@ -149,6 +153,49 @@ func TestKillEachPERecoversFFT(t *testing.T) {
 				for i := range ref.grids[pe] {
 					if got.grids[pe][i] != ref.grids[pe][i] {
 						t.Fatalf("PE %d grid[%d] = %v after recovery, want %v (bitwise)",
+							pe, i, got.grids[pe][i], ref.grids[pe][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKillMidFFTWithAggregationBitwise is the kill test with the
+// aggregation layer armed: transposes small enough to batch sit in the
+// dead node's buffers when the kill lands (fail-stop drops them, like
+// packets in a powered-off node's injection FIFOs) and in the survivors'
+// buffers at checkpoint time (the pre-commit flush drains those). Recovery
+// must still produce output bitwise identical to a failure-free run — and
+// to the aggregation-off reference, since batching only re-groups
+// messages, never reorders a (src,dst) stream.
+func TestKillMidFFTWithAggregationBitwise(t *testing.T) {
+	const iters = 6
+	agc := &aggregate.Config{}
+	refOff := runFFT(t, "faulty:seed=1", tightCfg(), -1, iters)
+	ref := runFFT(t, "faulty:seed=1", tightCfg(), -1, iters, agc)
+	if ref.stats.Recoveries != 0 {
+		t.Fatalf("reference run saw failures: %+v", ref.stats)
+	}
+	for pe := range refOff.grids {
+		for i := range refOff.grids[pe] {
+			if ref.grids[pe][i] != refOff.grids[pe][i] {
+				t.Fatalf("PE %d grid[%d]: agg-on %v != agg-off %v without any failure",
+					pe, i, ref.grids[pe][i], refOff.grids[pe][i])
+			}
+		}
+	}
+	for _, killPE := range []int{0, 2} {
+		killPE := killPE
+		t.Run(fmt.Sprintf("kill-pe%d", killPE), func(t *testing.T) {
+			got := runFFT(t, "faulty:seed=1", tightCfg(), killPE, iters, agc)
+			if got.stats.Recoveries != 1 {
+				t.Fatalf("ft/recoveries = %d, want 1 (stats %+v)", got.stats.Recoveries, got.stats)
+			}
+			for pe := range ref.grids {
+				for i := range ref.grids[pe] {
+					if got.grids[pe][i] != ref.grids[pe][i] {
+						t.Fatalf("PE %d grid[%d] = %v after recovery with batches in flight, want %v",
 							pe, i, got.grids[pe][i], ref.grids[pe][i])
 					}
 				}

@@ -41,6 +41,12 @@ func (mgr *Manager) recover(dead int) {
 	case <-mgr.stop:
 		return
 	}
+	// Survivors may hold pre-failure messages in aggregation buffers, which
+	// the quiescence probe cannot see (not enqueued, not in the transport).
+	// Flush them: they deliver, stamp-check against the old epoch, and
+	// either execute now (pre-recovery work finishing) or drop as stale
+	// after BeginRecovery — exactly like any other in-flight message.
+	mgr.m.FlushAggregation()
 	if !mgr.waitSurvivorQuiescence() {
 		return // shutdown raced the recovery
 	}

@@ -109,6 +109,30 @@ func (b *BoundedCounter) BoundedLoadIncrement() (old uint64, ok bool) {
 	}
 }
 
+// BoundedLoadAdd reserves up to n increments in one operation: it advances
+// the counter by min(n, bound-counter) and returns the previous value and
+// how many increments were granted (0 when the counter is at the bound).
+// This is the multi-slot form of the bounded load-increment — the software
+// analogue of reserving a chain of MU descriptors in one shot — used by
+// the lockless queues to publish a whole message batch with one
+// serialization on the counter word instead of one per message.
+func (b *BoundedCounter) BoundedLoadAdd(n uint64) (old uint64, got uint64) {
+	for {
+		cur := b.counter.Load()
+		bound := b.bound.Load()
+		if cur >= bound {
+			return cur, 0
+		}
+		avail := bound - cur
+		if avail > n {
+			avail = n
+		}
+		if b.counter.CompareAndSwap(cur, cur+avail) {
+			return cur, avail
+		}
+	}
+}
+
 // Counter returns the current counter value (plain load).
 func (b *BoundedCounter) Counter() uint64 { return b.counter.Load() }
 

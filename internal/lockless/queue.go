@@ -41,6 +41,11 @@ type Queue interface {
 	// Enqueue publishes a message. It never fails: lockless queues spill to
 	// their overflow queue when the ring is full.
 	Enqueue(msg any)
+	// EnqueueBatch publishes a run of messages, amortizing the
+	// reservation cost over the batch where the implementation allows
+	// (one bounded load-add on the L2 ring, one lock on the mutex queue).
+	// Same never-fails contract as Enqueue.
+	EnqueueBatch(msgs []any)
 	// Dequeue removes one message, returning ok=false if the queue is empty.
 	Dequeue() (msg any, ok bool)
 	// Empty reports whether the queue appears empty. It is advisory under
@@ -67,7 +72,7 @@ type L2Queue struct {
 	// Overflow queue, used by producers only when the ring is full and by
 	// the consumer only when the ring is empty.
 	omu      sync.Mutex
-	overflow []any
+	overflow anyDeque
 	olen     atomic.Int64
 
 	// Overflow cap (flow control): when ocap > 0, producers finding the
@@ -81,6 +86,78 @@ type L2Queue struct {
 // slot boxes a message so the ring can distinguish "published" from "empty"
 // even when the message itself is a nil interface.
 type slot struct{ msg any }
+
+// anyDeque is a FIFO of fixed-size chunks, the overflow queue's backing
+// store. A single growing []any is pathological under sustained spill: the
+// consumer pops by reslicing, so the front capacity is never reused and
+// every append eventually regrows the whole backlog — an O(backlog) copy
+// with a bulk write barrier over every pointer. Chunks never move once
+// allocated and drained chunks recycle through a small free list, so
+// steady-state spill traffic allocates nothing. Callers synchronize.
+type anyDeque struct {
+	chunks [][]any // FIFO of chunks; all but the last are full
+	head   int     // pop index into chunks[0]
+	free   [][]any // retired chunks ready for reuse
+}
+
+const (
+	dequeChunk   = 512
+	dequeFreeMax = 8
+)
+
+func (d *anyDeque) grab() []any {
+	if n := len(d.free); n > 0 {
+		c := d.free[n-1]
+		d.free = d.free[:n-1]
+		return c
+	}
+	return make([]any, 0, dequeChunk)
+}
+
+// pushN appends msgs in chunk-sized gulps.
+func (d *anyDeque) pushN(msgs []any) {
+	for len(msgs) > 0 {
+		n := len(d.chunks)
+		if n == 0 || len(d.chunks[n-1]) == dequeChunk {
+			d.chunks = append(d.chunks, d.grab())
+			n++
+		}
+		tail := d.chunks[n-1]
+		take := dequeChunk - len(tail)
+		if take > len(msgs) {
+			take = len(msgs)
+		}
+		d.chunks[n-1] = append(tail, msgs[:take]...)
+		msgs = msgs[take:]
+	}
+}
+
+func (d *anyDeque) push(m any) {
+	n := len(d.chunks)
+	if n == 0 || len(d.chunks[n-1]) == dequeChunk {
+		d.chunks = append(d.chunks, d.grab())
+		n++
+	}
+	d.chunks[n-1] = append(d.chunks[n-1], m)
+}
+
+func (d *anyDeque) pop() (any, bool) {
+	if len(d.chunks) == 0 || d.head >= len(d.chunks[0]) {
+		return nil, false
+	}
+	c := d.chunks[0]
+	m := c[d.head]
+	c[d.head] = nil
+	d.head++
+	if d.head == len(c) {
+		d.head = 0
+		d.chunks = d.chunks[1:]
+		if len(d.free) < dequeFreeMax {
+			d.free = append(d.free, c[:0])
+		}
+	}
+	return m, true
+}
 
 // NewL2Queue returns a queue whose ring has the given number of slots,
 // rounded up to a power of two; size <= 0 selects DefaultRingSize.
@@ -132,12 +209,65 @@ func (q *L2Queue) Enqueue(msg any) {
 		q.parkOnCap()
 	}
 	q.omu.Lock()
-	q.overflow = append(q.overflow, msg)
+	q.overflow.push(msg)
 	q.omu.Unlock()
 	q.olen.Add(1)
 	if obs.On() {
 		mEnqueue.Inc(q.id)
 		mSpill.Inc(q.id)
+	}
+}
+
+// EnqueueBatch publishes msgs with one bounded load-add per contiguous run
+// of free slots — the aggregation layer's receive path lands a whole
+// unpacked batch with a single serialization on the producer counter,
+// mirroring how the BG/Q MU reserves a descriptor chain per injection
+// burst. Messages that do not fit the ring take the per-message slow path,
+// preserving the overflow cap's parking semantics exactly.
+func (q *L2Queue) EnqueueBatch(msgs []any) {
+	for len(msgs) > 0 {
+		base, got := q.pc.BoundedLoadAdd(uint64(len(msgs)))
+		if got == 0 {
+			break
+		}
+		// One backing array boxes the whole run — the per-message &slot{}
+		// allocation is the dominant enqueue cost at batch arrival rates.
+		slots := make([]slot, got)
+		for i := uint64(0); i < got; i++ {
+			slots[i].msg = msgs[i]
+			q.ring[(base+i)&q.mask].Store(&slots[i])
+		}
+		if obs.On() {
+			mEnqueue.Add(q.id, int64(got))
+			mDepthHW.SetMax(int64(base + got - q.consumed.Load()))
+		}
+		msgs = msgs[got:]
+	}
+	// Ring full: spill the remainder to the overflow queue in chunks, one
+	// lock per chunk instead of one per message. Each chunk is bounded by
+	// the headroom under the overflow cap (everything at once when
+	// uncapped), so producers still park at the cap between chunks and the
+	// backlog bound grows by at most one chunk, same softness class as the
+	// per-message path's one-per-racing-producer overshoot.
+	for len(msgs) > 0 {
+		n := len(msgs)
+		if q.ocap > 0 {
+			if q.olen.Load() >= q.ocap {
+				q.parkOnCap()
+			}
+			if room := q.ocap - q.olen.Load(); room > 0 && room < int64(n) {
+				n = int(room)
+			}
+		}
+		q.omu.Lock()
+		q.overflow.pushN(msgs[:n])
+		q.omu.Unlock()
+		q.olen.Add(int64(n))
+		if obs.On() {
+			mEnqueue.Add(q.id, int64(n))
+			mSpill.Add(q.id, int64(n))
+		}
+		msgs = msgs[n:]
 	}
 }
 
@@ -185,11 +315,9 @@ func (q *L2Queue) Dequeue() (any, bool) {
 	}
 	if q.olen.Load() > 0 {
 		q.omu.Lock()
-		if len(q.overflow) > 0 {
-			msg := q.overflow[0]
-			q.overflow[0] = nil
-			q.overflow = q.overflow[1:]
-			q.omu.Unlock()
+		msg, ok := q.overflow.pop()
+		q.omu.Unlock()
+		if ok {
 			q.olen.Add(-1)
 			if obs.On() {
 				mDequeue.Inc(q.id)
@@ -197,7 +325,6 @@ func (q *L2Queue) Dequeue() (any, bool) {
 			}
 			return msg, true
 		}
-		q.omu.Unlock()
 	}
 	return nil, false
 }
@@ -246,6 +373,16 @@ func (q *MutexQueue) Enqueue(msg any) {
 	q.mu.Unlock()
 	if obs.On() {
 		mMutexEnq.Inc(q.id)
+	}
+}
+
+// EnqueueBatch appends msgs under one acquisition of the queue mutex.
+func (q *MutexQueue) EnqueueBatch(msgs []any) {
+	q.mu.Lock()
+	q.buf = append(q.buf, msgs...)
+	q.mu.Unlock()
+	if obs.On() {
+		mMutexEnq.Add(q.id, int64(len(msgs)))
 	}
 }
 

@@ -39,16 +39,12 @@ func (wq *WorkQueue) RunOne() bool {
 		// draining the overflow queue first when it is non-empty — the
 		// per-operation overhead the Charm++ queues avoid.
 		wq.q.omu.Lock()
-		hasOverflow := len(wq.q.overflow) > 0
+		hasOverflow := wq.q.olen.Load() > 0
 		wq.q.omu.Unlock()
 		if hasOverflow {
 			wq.q.omu.Lock()
-			if len(wq.q.overflow) > 0 {
-				w = wq.q.overflow[0]
-				wq.q.overflow[0] = nil
-				wq.q.overflow = wq.q.overflow[1:]
+			if w, ok = wq.q.overflow.pop(); ok {
 				wq.q.olen.Add(-1)
-				ok = true
 			}
 			wq.q.omu.Unlock()
 		}

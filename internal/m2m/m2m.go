@@ -23,6 +23,7 @@ package m2m
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -142,6 +143,37 @@ func (h *Handle) admit(dst int) {
 	}
 }
 
+// admitN reserves n in-flight slots toward dst at once, in chunks of at
+// most the burst limit — the batch-aware form of admit used when the
+// aggregation layer groups a burst by destination. Same liveness rule:
+// a chunk parked past MaxBlock proceeds on overdraft.
+func (h *Handle) admitN(dst int, n int64) {
+	for n > 0 {
+		chunk := n
+		if chunk > h.burstLimit {
+			chunk = h.burstLimit
+		}
+		if got := h.inflight[dst].Add(chunk); got <= h.burstLimit {
+			n -= chunk
+			continue
+		}
+		h.inflight[dst].Add(-chunk)
+		h.parked.Add(1)
+		flowctl.CountBurstParked(dst)
+		fc := h.mgr.machine.FlowController()
+		if !flowctl.ParkUntil(func() bool {
+			if got := h.inflight[dst].Add(chunk); got <= h.burstLimit {
+				return true
+			}
+			h.inflight[dst].Add(-chunk)
+			return false
+		}, nil, fc.Config().MaxBlock) {
+			h.inflight[dst].Add(chunk) // overdraft: still accounted
+		}
+		n -= chunk
+	}
+}
+
 // RegisterSend records that srcPE sends a message of the given size to
 // dstPE, tagged with slot. fetch supplies the payload at Start time, so
 // persistent buffers can be filled anew every iteration
@@ -222,20 +254,49 @@ func (h *Handle) Start(pe *converse.PE) {
 }
 
 func (h *Handle) sendBatch(pe *converse.PE, ops []sendOp) {
+	if h.mgr.machine.AggregationOn() && len(ops) > 1 {
+		// Batch-aware admission: with the aggregation layer armed, the
+		// burst is grouped by destination so each same-destination run
+		// reserves all its slots in one admission (chunked by the burst
+		// limit) and its messages append back-to-back into one batch
+		// buffer, instead of paying an admission check per message and
+		// interleaving destinations across buffers.
+		grouped := make([]sendOp, len(ops))
+		copy(grouped, ops)
+		sort.SliceStable(grouped, func(i, j int) bool { return grouped[i].dst < grouped[j].dst })
+		for lo := 0; lo < len(grouped); {
+			hi := lo + 1
+			for hi < len(grouped) && grouped[hi].dst == grouped[lo].dst {
+				hi++
+			}
+			if h.inflight != nil && grouped[lo].dst != pe.Id() {
+				h.admitN(grouped[lo].dst, int64(hi-lo))
+			}
+			for _, op := range grouped[lo:hi] {
+				h.send(pe, op)
+			}
+			lo = hi
+		}
+		return
+	}
 	for _, op := range ops {
 		// Self-sends bypass admission: the sender is the only PE that can
 		// drain them, so parking on them would be a self-deadlock.
 		if h.inflight != nil && op.dst != pe.Id() {
 			h.admit(op.dst)
 		}
-		msg := &converse.Message{
-			Handler: h.mgr.handler,
-			Bytes:   op.bytes,
-			Payload: m2mMsg{handle: h.id, slot: op.slot, src: pe.Id(), data: op.fetch()},
-		}
-		if err := pe.Send(op.dst, msg); err != nil {
-			panic(fmt.Sprintf("m2m: send to PE %d failed: %v", op.dst, err))
-		}
+		h.send(pe, op)
+	}
+}
+
+func (h *Handle) send(pe *converse.PE, op sendOp) {
+	msg := &converse.Message{
+		Handler: h.mgr.handler,
+		Bytes:   op.bytes,
+		Payload: m2mMsg{handle: h.id, slot: op.slot, src: pe.Id(), data: op.fetch()},
+	}
+	if err := pe.Send(op.dst, msg); err != nil {
+		panic(fmt.Sprintf("m2m: send to PE %d failed: %v", op.dst, err))
 	}
 }
 

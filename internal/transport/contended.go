@@ -102,11 +102,16 @@ func (t *Contended) String() string {
 
 // bookRoute walks the dimension-order route from src to dst, serializing
 // the packetized payload on every directed link FCFS behind earlier
-// traffic, and returns the total transfer delay plus the portion spent
-// stalled behind other packets.
-func (t *Contended) bookRoute(src, dst, bytes int) (delay, stall time.Duration) {
+// traffic, and returns the absolute delivery time plus the portion spent
+// stalled behind other packets. The due time is computed against a single
+// clock read under the booking lock: per-(src,dst) due times are then
+// strictly monotone in booking order, which is the invariant the delay
+// line's FIFO guarantee rests on (a relative delay re-anchored to a second
+// clock read at schedule time loses it whenever the goroutine is preempted
+// between the two reads).
+func (t *Contended) bookRoute(src, dst, bytes int) (due time.Time, stall time.Duration) {
 	if src == dst {
-		return 0, 0
+		return time.Now(), 0
 	}
 	packets := (bytes + torus.PacketSize - 1) / torus.PacketSize
 	if packets < 1 {
@@ -114,10 +119,9 @@ func (t *Contended) bookRoute(src, dst, bytes int) (delay, stall time.Duration) 
 	}
 	ser := time.Duration(float64(packets*torus.PacketSize) / torus.EffectiveBW * 1e9 * t.scale)
 	hop := time.Duration(torus.HopLatencySeconds * 1e9 * t.scale)
-	now := time.Now()
-	cursor := now
 
 	t.mu.Lock()
+	cursor := time.Now()
 	route, ok := t.routes[[2]int{src, dst}]
 	if !ok {
 		tor := t.inner.Torus()
@@ -140,7 +144,7 @@ func (t *Contended) bookRoute(src, dst, bytes int) (delay, stall time.Duration) 
 		prev = to
 	}
 	t.mu.Unlock()
-	return cursor.Sub(now), stall
+	return cursor, stall
 }
 
 // contendedEndpoint intercepts Inject to apply the link model; everything
@@ -161,7 +165,7 @@ func (e *contendedEndpoint) Inject(p torus.Packet) error {
 	if p.Dst < 0 || p.Dst >= t.Nodes() {
 		return fmt.Errorf("transport: destination rank %d out of range [0,%d)", p.Dst, t.Nodes())
 	}
-	delay, stall := t.bookRoute(e.inner.Rank(), p.Dst, p.Bytes)
+	due, stall := t.bookRoute(e.inner.Rank(), p.Dst, p.Bytes)
 	t.injected.Add(1)
 	if stall > 0 {
 		t.stalled.Add(1)
@@ -171,6 +175,6 @@ func (e *contendedEndpoint) Inject(p torus.Packet) error {
 			obsContentionStallNS.Add(e.inner.Rank(), int64(stall))
 		}
 	}
-	t.dl.schedule(time.Now().Add(delay), e.inner.Rank(), p)
+	t.dl.schedule(due, e.inner.Rank(), p)
 	return nil
 }

@@ -112,7 +112,11 @@ func TestInprocPassthrough(t *testing.T) {
 }
 
 func TestContendedDeliversInOrderAndStalls(t *testing.T) {
-	tr, err := New("contended", 4, 1)
+	// scale=50 stretches the modelled link delays (~110µs to serialize one
+	// 4KB packet) far past the wall-clock gap between consecutive Injects,
+	// so back-to-back sends contend on the first link no matter how slow
+	// the host or how heavily instrumented the build (-race) is.
+	tr, err := New("contended:scale=50", 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
