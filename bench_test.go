@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -88,32 +89,50 @@ func BenchmarkFig4PingPongInterNode(b *testing.B) {
 // ---------------------------------------------------------------------------
 // E2 / Fig 5: intra-node ping-pong — native pointer-exchange measurement.
 
+// runFig5PingPong bounces one message between the node's two worker PEs
+// for b.N hops. The steady state is the gated 0-allocs/op envelope path:
+// every hop draws its envelope from the sending PE's §III-B pool (the
+// executed envelope recycles via the scheduler's release-after-execute),
+// and the round count rides an atomic instead of a boxed int payload —
+// boxing a non-tiny int allocates, which would mask pool regressions.
+func runFig5PingPong(b *testing.B, cfg converse.Config) *converse.Machine {
+	b.ReportAllocs()
+	machine, err := converse.NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rounds atomic.Int64
+	total := int64(b.N)
+	done := make(chan struct{})
+	var h int
+	h = machine.RegisterHandler(func(pe *converse.PE, msg *converse.Message) {
+		if rounds.Add(1) >= total {
+			machine.Shutdown()
+			close(done)
+			return
+		}
+		r := pe.NewMessage()
+		r.Handler = h
+		r.Bytes = 32
+		_ = pe.Send(1-pe.Id(), r)
+	})
+	b.ResetTimer()
+	machine.Run(func(pe *converse.PE) {
+		if pe.Id() == 0 {
+			m0 := pe.NewMessage()
+			m0.Handler = h
+			m0.Bytes = 32
+			_ = pe.Send(1, m0)
+		}
+	})
+	<-done
+	return machine
+}
+
 func BenchmarkFig5PingPongIntraNode(b *testing.B) {
 	for _, mode := range []converse.Mode{converse.ModeSMP, converse.ModeSMPComm} {
 		b.Run(mode.String(), func(b *testing.B) {
-			machine, err := converse.NewMachine(converse.Config{Nodes: 1, WorkersPerNode: 2, Mode: mode})
-			if err != nil {
-				b.Fatal(err)
-			}
-			var h int
-			done := make(chan struct{})
-			rounds := b.N
-			h = machine.RegisterHandler(func(pe *converse.PE, msg *converse.Message) {
-				n := msg.Payload.(int)
-				if n >= rounds {
-					machine.Shutdown()
-					close(done)
-					return
-				}
-				_ = pe.Send(1-pe.Id(), &converse.Message{Handler: h, Bytes: 32, Payload: n + 1})
-			})
-			b.ResetTimer()
-			machine.Run(func(pe *converse.PE) {
-				if pe.Id() == 0 {
-					_ = pe.Send(1, &converse.Message{Handler: h, Bytes: 32, Payload: 0})
-				}
-			})
-			<-done
+			runFig5PingPong(b, converse.Config{Nodes: 1, WorkersPerNode: 2, Mode: mode})
 		})
 	}
 }
@@ -126,31 +145,9 @@ func BenchmarkFig5PingPongIntraNode(b *testing.B) {
 func BenchmarkFig5PingPongIntraNodeFlow(b *testing.B) {
 	for _, mode := range []converse.Mode{converse.ModeSMP, converse.ModeSMPComm} {
 		b.Run(mode.String(), func(b *testing.B) {
-			machine, err := converse.NewMachine(converse.Config{
+			machine := runFig5PingPong(b, converse.Config{
 				Nodes: 1, WorkersPerNode: 2, Mode: mode, FlowControl: &flowctl.Config{},
 			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			var h int
-			done := make(chan struct{})
-			rounds := b.N
-			h = machine.RegisterHandler(func(pe *converse.PE, msg *converse.Message) {
-				n := msg.Payload.(int)
-				if n >= rounds {
-					machine.Shutdown()
-					close(done)
-					return
-				}
-				_ = pe.Send(1-pe.Id(), &converse.Message{Handler: h, Bytes: 32, Payload: n + 1})
-			})
-			b.ResetTimer()
-			machine.Run(func(pe *converse.PE) {
-				if pe.Id() == 0 {
-					_ = pe.Send(1, &converse.Message{Handler: h, Bytes: 32, Payload: 0})
-				}
-			})
-			<-done
 			if fc := machine.FlowController(); fc.BlockedTotal() != 0 || fc.ShedCount() != 0 {
 				b.Fatalf("uncontended ping-pong parked %d / shed %d — flow control interfered",
 					fc.BlockedTotal(), fc.ShedCount())

@@ -1,17 +1,25 @@
 // Command benchgate is the perf-regression gate: it parses `go test
 // -bench` output from stdin (or a file), reduces each benchmark to its
-// minimum ns/op across -count repeats — the minimum is the right
-// statistic, since scheduling noise only ever slows a run down — and
-// compares against a checked-in baseline.
+// minimum ns/op — and, when reported, minimum allocs/op — across -count
+// repeats (the minimum is the right statistic, since scheduling noise
+// only ever slows a run down or adds stray allocations), and compares
+// against a checked-in baseline.
 //
 // Gate mode (default): any benchmark slower than baseline × (1 +
 // tolerance) fails the run, as does a baselined benchmark that vanished
-// from the input. Benchmarks present in the input but absent from the
-// baseline are reported and ignored.
+// from the input. Allocations gate separately: a benchmark with an
+// "allocs" baseline entry fails when its measured allocs/op exceeds
+// baseline × (1 + allocs_tolerance) — with the default allocs_tolerance
+// of 0 and a baseline of 0, a single steady-state allocation on the
+// envelope path fails CI, which is the paper's §III-B contract.
+// Benchmarks present in the input but absent from the baseline are
+// reported and ignored.
 //
 // Refresh mode (-refresh): rewrite the baseline from the parsed input,
-// preserving the existing tolerance. Run this on the reference machine
-// after an intentional perf change:
+// preserving the existing tolerances. Benchmarks that report allocations
+// (b.ReportAllocs or -benchmem) get allocs entries; others gate on ns/op
+// only. Run this on the reference machine after an intentional perf
+// change:
 //
 //	go test -bench '^(BenchmarkFig5PingPongIntraNode|BenchmarkL2QueueProducers)$' \
 //	  -benchtime=100000x -count=5 -run '^$' . ./internal/lockless |
@@ -34,22 +42,38 @@ import (
 type baseline struct {
 	// Tolerance is the allowed slowdown fraction (0.15 = 15%).
 	Tolerance float64 `json:"tolerance"`
+	// AllocsTolerance is the allowed allocs/op growth fraction. It
+	// defaults to 0: any benchmark with an allocs baseline must meet it
+	// exactly (or better) — essential for 0-allocs/op entries, where any
+	// nonzero tolerance of a zero baseline would still forbid nothing.
+	AllocsTolerance float64 `json:"allocs_tolerance"`
 	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to the
 	// reference ns/op.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Allocs maps benchmark name to the reference allocs/op, for the
+	// subset of benchmarks that report allocations.
+	Allocs map[string]float64 `json:"allocs,omitempty"`
 }
 
 // benchLine matches one result line, e.g.
 //
-//	BenchmarkFig5PingPongIntraNode/smp-4   12345   9876 ns/op
+//	BenchmarkFig5PingPongIntraNode/smp-4   12345   9876 ns/op   0 B/op   0 allocs/op
 //
-// capturing the name without the trailing -GOMAXPROCS and the ns/op.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// capturing the name without the trailing -GOMAXPROCS, the ns/op, and —
+// when the benchmark reports allocations — the allocs/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) allocs/op)?`)
+
+// results holds the parsed minima per benchmark name.
+type results struct {
+	ns     map[string]float64
+	allocs map[string]float64 // only benchmarks whose lines report allocs/op
+}
 
 func main() {
 	baselinePath := flag.String("baseline", "bench_baseline.json", "baseline file to gate against (and to write with -refresh)")
 	refresh := flag.Bool("refresh", false, "rewrite the baseline from the input instead of gating")
-	tolerance := flag.Float64("tolerance", 0, "override the baseline's tolerance (0 = use the file's, default 0.15)")
+	tolerance := flag.Float64("tolerance", 0, "override the baseline's ns/op tolerance (0 = use the file's, default 0.15)")
+	allocsTolerance := flag.Float64("allocs-tolerance", -1, "override the baseline's allocs/op tolerance (-1 = use the file's, default 0)")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -64,11 +88,11 @@ func main() {
 		fatal("at most one input file (default stdin)")
 	}
 
-	results, err := parse(in)
+	res, err := parse(in)
 	if err != nil {
 		fatal("%v", err)
 	}
-	if len(results) == 0 {
+	if len(res.ns) == 0 {
 		fatal("no benchmark result lines in input")
 	}
 
@@ -87,9 +111,13 @@ func main() {
 	if *tolerance > 0 {
 		base.Tolerance = *tolerance
 	}
+	if *allocsTolerance >= 0 {
+		base.AllocsTolerance = *allocsTolerance
+	}
 
 	if *refresh {
-		base.Benchmarks = results
+		base.Benchmarks = res.ns
+		base.Allocs = res.allocs
 		out, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {
 			fatal("%v", err)
@@ -97,15 +125,15 @@ func main() {
 		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
 			fatal("%v", err)
 		}
-		fmt.Printf("benchgate: wrote %s with %d benchmarks (tolerance %.0f%%)\n",
-			*baselinePath, len(results), base.Tolerance*100)
+		fmt.Printf("benchgate: wrote %s with %d benchmarks (%d with allocs; tolerance %.0f%%, allocs %.0f%%)\n",
+			*baselinePath, len(res.ns), len(res.allocs), base.Tolerance*100, base.AllocsTolerance*100)
 		return
 	}
 
 	failures := 0
 	for _, name := range sortedKeys(base.Benchmarks) {
 		ref := base.Benchmarks[name]
-		got, ok := results[name]
+		got, ok := res.ns[name]
 		if !ok {
 			fmt.Printf("FAIL %-50s baselined but missing from input\n", name)
 			failures++
@@ -120,23 +148,43 @@ func main() {
 		fmt.Printf("%s %-50s %12.0f ns/op (baseline %.0f, limit %.0f, %+.1f%%)\n",
 			verdict, name, got, ref, limit, 100*(got-ref)/ref)
 	}
-	for _, name := range sortedKeys(results) {
+	for _, name := range sortedKeys(base.Allocs) {
+		ref := base.Allocs[name]
+		got, ok := res.allocs[name]
+		if !ok {
+			fmt.Printf("FAIL %-50s allocs baselined but input reports none (ReportAllocs or -benchmem missing?)\n", name)
+			failures++
+			continue
+		}
+		limit := ref * (1 + base.AllocsTolerance)
+		verdict := "ok  "
+		if got > limit {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %-50s %12.0f allocs/op (baseline %.0f, limit %.0f)\n",
+			verdict, name, got, ref, limit)
+	}
+	for _, name := range sortedKeys(res.ns) {
 		if _, ok := base.Benchmarks[name]; !ok {
-			fmt.Printf("new  %-50s %12.0f ns/op (not in baseline; -refresh to add)\n", name, results[name])
+			fmt.Printf("new  %-50s %12.0f ns/op (not in baseline; -refresh to add)\n", name, res.ns[name])
 		}
 	}
 	if failures > 0 {
-		fmt.Printf("benchgate: %d regression(s) beyond %.0f%% tolerance\n", failures, base.Tolerance*100)
+		fmt.Printf("benchgate: %d regression(s) beyond %.0f%% ns / %.0f%% allocs tolerance\n",
+			failures, base.Tolerance*100, base.AllocsTolerance*100)
 		fmt.Println("benchgate: if intentional, refresh on the reference machine:")
 		fmt.Printf("  go test -bench <pattern> -count=5 -run '^$' <packages> | go run ./cmd/benchgate -refresh -baseline %s\n", *baselinePath)
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) within %.0f%% of baseline\n", len(base.Benchmarks), base.Tolerance*100)
+	fmt.Printf("benchgate: %d benchmark(s) within %.0f%% of baseline (%d allocs gate(s) met)\n",
+		len(base.Benchmarks), base.Tolerance*100, len(base.Allocs))
 }
 
-// parse reduces bench output to the minimum ns/op per benchmark name.
-func parse(r io.Reader) (map[string]float64, error) {
-	out := map[string]float64{}
+// parse reduces bench output to the minimum ns/op — and minimum
+// allocs/op where reported — per benchmark name.
+func parse(r io.Reader) (results, error) {
+	res := results{ns: map[string]float64{}, allocs: map[string]float64{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -146,13 +194,22 @@ func parse(r io.Reader) (map[string]float64, error) {
 		}
 		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+			return results{}, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
 		}
-		if cur, ok := out[m[1]]; !ok || ns < cur {
-			out[m[1]] = ns
+		if cur, ok := res.ns[m[1]]; !ok || ns < cur {
+			res.ns[m[1]] = ns
+		}
+		if m[4] != "" {
+			allocs, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return results{}, fmt.Errorf("bad allocs/op in %q: %v", sc.Text(), err)
+			}
+			if cur, ok := res.allocs[m[1]]; !ok || allocs < cur {
+				res.allocs[m[1]] = allocs
+			}
 		}
 	}
-	return out, sc.Err()
+	return res, sc.Err()
 }
 
 func sortedKeys(m map[string]float64) []string {

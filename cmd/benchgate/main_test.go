@@ -23,13 +23,56 @@ PASS
 		"BenchmarkL2QueueProducers/p=1":      130.5,
 		"BenchmarkL2QueueProducers/p=16":     410,
 	}
-	if len(got) != len(want) {
-		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	if len(got.ns) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got.ns), len(want), got.ns)
 	}
 	for k, v := range want {
-		if got[k] != v {
-			t.Errorf("%s = %v, want %v", k, got[k], v)
+		if got.ns[k] != v {
+			t.Errorf("%s = %v, want %v", k, got.ns[k], v)
 		}
+	}
+	if len(got.allocs) != 0 {
+		t.Fatalf("parsed allocs %v from alloc-free input", got.allocs)
+	}
+}
+
+// TestParseAllocs pins the allocs/op column handling: lines with
+// ReportAllocs output (B/op + allocs/op) populate the allocs map with the
+// per-name minimum, lines without it stay ns-only, and a 0 allocs/op line
+// parses as an explicit zero rather than a missing value.
+func TestParseAllocs(t *testing.T) {
+	in := `BenchmarkFig5PingPongIntraNode/SMP-4   	  200000	       598.3 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig5PingPongIntraNode/SMP+comm-4 	  200000	       522.4 ns/op	       8 B/op	       2 allocs/op
+BenchmarkFig5PingPongIntraNode/SMP+comm-4 	  200000	       530.1 ns/op	       8 B/op	       1 allocs/op
+BenchmarkL2QueueProducers/p=1-4        	 9000000	       130.5 ns/op
+PASS
+`
+	got, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAllocs := map[string]float64{
+		"BenchmarkFig5PingPongIntraNode/SMP":      0,
+		"BenchmarkFig5PingPongIntraNode/SMP+comm": 1, // minimum across repeats
+	}
+	if len(got.allocs) != len(wantAllocs) {
+		t.Fatalf("parsed %d allocs entries, want %d: %v", len(got.allocs), len(wantAllocs), got.allocs)
+	}
+	for k, v := range wantAllocs {
+		a, ok := got.allocs[k]
+		if !ok {
+			t.Errorf("allocs[%s] missing", k)
+			continue
+		}
+		if a != v {
+			t.Errorf("allocs[%s] = %v, want %v", k, a, v)
+		}
+	}
+	if _, ok := got.allocs["BenchmarkL2QueueProducers/p=1"]; ok {
+		t.Error("allocs entry for a benchmark that reported none")
+	}
+	if got.ns["BenchmarkFig5PingPongIntraNode/SMP"] != 598.3 {
+		t.Errorf("ns/op = %v, want 598.3", got.ns["BenchmarkFig5PingPongIntraNode/SMP"])
 	}
 }
 
@@ -38,7 +81,7 @@ func TestParseIgnoresNonBenchLines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 0 {
-		t.Fatalf("parsed %v from non-bench input", got)
+	if len(got.ns) != 0 {
+		t.Fatalf("parsed %v from non-bench input", got.ns)
 	}
 }

@@ -66,14 +66,20 @@ func floodRate(msgs, payload int, agc *aggregate.Config) float64 {
 	hGo = machine.RegisterHandler(func(pe *converse.PE, msg *converse.Message) {
 		start = time.Now()
 		for i := 0; i < msgs; i++ {
-			if err := pe.Send(1, &converse.Message{Handler: h, Bytes: payload, Payload: i}); err != nil {
+			msg := pe.NewMessage()
+			msg.Handler = h
+			msg.Bytes = payload
+			msg.Payload = i
+			if err := pe.Send(1, msg); err != nil {
 				log.Fatalf("E16 send: %v", err)
 			}
 		}
 	})
 	machine.Run(func(pe *converse.PE) {
 		if pe.Id() == 0 {
-			_ = pe.Send(0, &converse.Message{Handler: hGo}) // self-send: local kickoff
+			kick := pe.NewMessage()
+			kick.Handler = hGo
+			_ = pe.Send(0, kick) // self-send: local kickoff
 		}
 	})
 	return float64(msgs) / elapsed.Seconds()

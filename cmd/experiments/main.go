@@ -188,11 +188,19 @@ func nativeObservability(path, spec string, fcc *flowctl.Config, agc *aggregate.
 			machine.Shutdown()
 			return
 		}
-		_ = pe.Send((pe.Id()+1)%machine.NumPEs(), &converse.Message{Handler: h, Bytes: 32, Payload: n + 1})
+		reply := pe.NewMessage()
+		reply.Handler = h
+		reply.Bytes = 32
+		reply.Payload = n + 1
+		_ = pe.Send((pe.Id()+1)%machine.NumPEs(), reply)
 	})
 	machine.Run(func(pe *converse.PE) {
 		if pe.Id() == 0 {
-			_ = pe.Send(1, &converse.Message{Handler: h, Bytes: 32, Payload: 0})
+			first := pe.NewMessage()
+			first.Handler = h
+			first.Bytes = 32
+			first.Payload = 0
+			_ = pe.Send(1, first)
 		}
 	})
 

@@ -7,22 +7,38 @@
 // This experiment runs natively (real goroutines, real allocators); the
 // shape — pool much cheaper, arena cost exploding with thread count — is
 // the paper's Fig. 6. The modelled BG/Q numbers are printed alongside.
+// With -runtime the command instead measures the real runtime path the
+// envelope pool optimizes: allocations per send→execute hop through the
+// full Converse machine, with envelope pooling disabled (every message a
+// heap allocation, the pre-pool runtime) and enabled (§III-B pools) —
+// the nightly data point that tracks whether the message path stays off
+// the GC.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blueq/internal/cluster"
+	"blueq/internal/converse"
 	"blueq/internal/mempool"
 	"blueq/internal/stats"
 )
 
 func main() {
 	iters := flag.Int("iters", 50, "benchmark repetitions")
+	runtimeMode := flag.Bool("runtime", false, "measure allocs/op on the runtime send→execute path, envelope pooling off vs on")
+	msgs := flag.Int("msgs", 300000, "messages per measurement in -runtime mode")
 	flag.Parse()
+
+	if *runtimeMode {
+		runtimePath(*msgs)
+		return
+	}
 
 	threadCounts := []int{1, 4, 16, 64}
 
@@ -45,6 +61,79 @@ func main() {
 	fmt.Println("note: host ratios are milder than BG/Q's — Go's contended mutexes are far")
 	fmt.Println("cheaper than BG/Q pthread mutexes, and x86 has no in-cache atomic unit;")
 	fmt.Println("the modelled row carries the paper's calibrated costs.")
+}
+
+// runtimePath prints heap allocations per message hop on the live
+// runtime: an intra-node ping-pong (the Fig5 topology) driven for msgs
+// hops, measured with the envelope pool disabled and enabled. Machine
+// construction and teardown ride inside the measurement, so a small
+// constant floor amortizes away as msgs grows; the pooled steady state
+// itself contributes zero.
+func runtimePath(msgs int) {
+	tab := stats.NewTable(
+		"Runtime send→execute path: heap allocations per message hop\n"+
+			"(intra-node ping-pong through the full Converse machine; 'heap'\n"+
+			"constructs every envelope with a heap literal — the pre-pool\n"+
+			"runtime — while 'pooled' draws from the per-PE §III-B envelope\n"+
+			"pools with lockless remote free. The pooled steady state is the\n"+
+			"0-allocs/op contract benchgate enforces on Fig5.)",
+		"mode", "allocs/op", "ns/op")
+	var heapAllocs, pooledAllocs float64
+	for _, pooled := range []bool{false, true} {
+		allocs, ns := measureRuntimeAllocs(pooled, msgs)
+		name := "heap"
+		if pooled {
+			name, pooledAllocs = "pooled", allocs
+		} else {
+			heapAllocs = allocs
+		}
+		tab.AddRow(name, allocs, ns)
+	}
+	fmt.Println(tab)
+	fmt.Printf("pooling removes %.2f allocs per message hop\n", heapAllocs-pooledAllocs)
+}
+
+// measureRuntimeAllocs runs one ping-pong machine for rounds hops and
+// returns (heap allocations, wall nanoseconds) per hop, from the
+// runtime's Mallocs counter delta across the whole run.
+func measureRuntimeAllocs(pooled bool, rounds int) (allocsPerOp, nsPerOp float64) {
+	cfg := converse.Config{Nodes: 1, WorkersPerNode: 2, Mode: converse.ModeSMP}
+	if !pooled {
+		cfg.EnvPoolThreshold = -1 // disable: PE.NewMessage degrades to a heap literal
+	}
+	machine, err := converse.NewMachine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	var count atomic.Int64
+	total := int64(rounds)
+	var h int
+	h = machine.RegisterHandler(func(pe *converse.PE, msg *converse.Message) {
+		if count.Add(1) >= total {
+			machine.Shutdown()
+			return
+		}
+		r := pe.NewMessage()
+		r.Handler = h
+		r.Bytes = 32
+		_ = pe.Send(1-pe.Id(), r)
+	})
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	machine.Run(func(pe *converse.PE) {
+		if pe.Id() == 0 {
+			m0 := pe.NewMessage()
+			m0.Handler = h
+			m0.Bytes = 32
+			_ = pe.Send(1, m0)
+		}
+	})
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ops := float64(rounds)
+	return float64(after.Mallocs-before.Mallocs) / ops, float64(elapsed.Nanoseconds()) / ops
 }
 
 // measureExchange returns mean seconds per alloc+free pair under

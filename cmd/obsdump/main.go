@@ -112,13 +112,21 @@ func pingpong(rounds int) {
 			m.Shutdown()
 			return
 		}
-		if err := pe.Send((pe.Id()+1)%m.NumPEs(), &converse.Message{Handler: h, Bytes: 32, Payload: n + 1}); err != nil {
+		reply := pe.NewMessage()
+		reply.Handler = h
+		reply.Bytes = 32
+		reply.Payload = n + 1
+		if err := pe.Send((pe.Id()+1)%m.NumPEs(), reply); err != nil {
 			log.Fatal(err)
 		}
 	})
 	m.Run(func(pe *converse.PE) {
 		if pe.Id() == 0 {
-			_ = pe.Send(1, &converse.Message{Handler: h, Bytes: 32, Payload: 0})
+			first := pe.NewMessage()
+			first.Handler = h
+			first.Bytes = 32
+			first.Payload = 0
+			_ = pe.Send(1, first)
 		}
 	})
 }

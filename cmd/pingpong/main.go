@@ -118,14 +118,22 @@ func nativePingPong(mode converse.Mode, rounds int, spec string, fcc *flowctl.Co
 		if pe.Id() == 0 {
 			dst = pe.NumPEs() - 1
 		}
-		if err := pe.Send(dst, &converse.Message{Handler: h, Bytes: 32, Payload: n + 1}); err != nil {
+		reply := pe.NewMessage()
+		reply.Handler = h
+		reply.Bytes = 32
+		reply.Payload = n + 1
+		if err := pe.Send(dst, reply); err != nil {
 			machine.Shutdown()
 		}
 	})
 	machine.Run(func(pe *converse.PE) {
 		if pe.Id() == 0 {
 			start = time.Now()
-			_ = pe.Send(pe.NumPEs()-1, &converse.Message{Handler: h, Bytes: 32, Payload: 0})
+			first := pe.NewMessage()
+			first.Handler = h
+			first.Bytes = 32
+			first.Payload = 0
+			_ = pe.Send(pe.NumPEs()-1, first)
 		}
 	})
 	var executed int64

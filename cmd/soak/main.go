@@ -223,7 +223,11 @@ func runFlood(spec string, d, slow time.Duration, fcc flowctl.Config, agc *aggre
 		}
 		deadline := time.Now().Add(d)
 		for i := 0; time.Now().Before(deadline); i++ {
-			if err := pe.Send(1, &converse.Message{Handler: h, Bytes: 8, Payload: i}); err != nil {
+			msg := pe.NewMessage()
+			msg.Handler = h
+			msg.Bytes = 8
+			msg.Payload = i
+			if err := pe.Send(1, msg); err != nil {
 				fmt.Fprintf(os.Stderr, "flood send %d: %v\n", i, err)
 				break
 			}
@@ -484,7 +488,11 @@ func sweepCell(spec string, d, slow time.Duration, offered float64, fcc flowctl.
 		for time.Now().Before(deadline) {
 			credit += perTick
 			for ; credit >= 1; credit-- {
-				if err := pe.Send(1, &converse.Message{Handler: h, Bytes: 8, Payload: int(sent.Load())}); err != nil {
+				msg := pe.NewMessage()
+				msg.Handler = h
+				msg.Bytes = 8
+				msg.Payload = int(sent.Load())
+				if err := pe.Send(1, msg); err != nil {
 					fmt.Fprintf(os.Stderr, "sweep send: %v\n", err)
 					credit = 0
 					break

@@ -152,10 +152,17 @@ func (rt *Runtime) send(pe *converse.PE, dstPE int, cm charmMsg, bytes, prio int
 	// root cannot fold until the last contribution lands, so batching any
 	// of them for company stretches the whole reduction. They bypass the
 	// aggregation layer.
-	return pe.Send(dstPE, &converse.Message{
-		Handler: rt.handler, Bytes: bytes, Prio: prio, Payload: cm,
-		NoAgg: cm.kind == kindReduction,
-	})
+	//
+	// The envelope comes from pe's §III-B pool and recycles on its home
+	// pool when the destination finishes executing it; Send consumes the
+	// reference on every path.
+	msg := pe.NewMessage()
+	msg.Handler = rt.handler
+	msg.Bytes = bytes
+	msg.Prio = prio
+	msg.Payload = cm
+	msg.NoAgg = cm.kind == kindReduction
+	return pe.Send(dstPE, msg)
 }
 
 // ---------------------------------------------------------------------------
@@ -426,11 +433,11 @@ func (g *Group) Broadcast(pe *converse.PE, entry int, payload any, bytes int) er
 	// One logical send per PE for quiescence accounting; each tree
 	// delivery increments the executed counter once.
 	g.rt.sent.Add(int64(g.rt.machine.NumPEs()))
-	return pe.Broadcast(&converse.Message{
-		Handler: g.rt.handler,
-		Bytes:   bytes,
-		Payload: charmMsg{kind: kindGroup, array: g.id, entry: entry, epoch: g.rt.epoch.Load(), data: payload},
-	})
+	msg := pe.NewMessage()
+	msg.Handler = g.rt.handler
+	msg.Bytes = bytes
+	msg.Payload = charmMsg{kind: kindGroup, array: g.id, entry: entry, epoch: g.rt.epoch.Load(), data: payload}
+	return pe.Broadcast(msg)
 }
 
 func (g *Group) deliver(pe *converse.PE, cm charmMsg) {

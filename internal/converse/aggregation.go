@@ -19,6 +19,14 @@ import (
 // inject, one reliability sequence number, and one dispatch cover N
 // messages. The reliability sublayer sequences and dedups the batch as a
 // single packet, so drop/dup repair needs no per-inner-message state.
+//
+// Envelope recycling: a batch's Items are pooled envelopes owned by the
+// sending node's PEs. Unpacking enqueues them on destination schedulers,
+// whose release-after-execute recycles each one to its owner's pool (a
+// lockless §III-B remote free) — the batch container itself recycles
+// separately through the aggregator's free list below. Items appended to
+// a batch that is later Discarded (node halt) are dropped to the GC with
+// the batch, the fail-stop fate of packets in a dead node's FIFOs.
 
 // initAggregator builds the node's aggregator. The flush callback injects
 // the batch through context 0 on dispAggBatch; flushes run on worker PEs

@@ -32,7 +32,10 @@ func (m *Machine) registerBroadcast() {
 // Broadcast delivers a copy of the message value to every PE, including
 // this one (CmiSyncBroadcastAllFn), through a spanning tree over nodes.
 // The payload is shared across all copies; handlers must treat broadcast
-// payloads as read-only.
+// payloads as read-only. Broadcast consumes the caller's reference: the
+// root message is refcounted down the tree — each node's fan-out takes a
+// reference instead of copying the struct per destination — and recycles
+// to the root PE's pool when the last leaf drops it.
 func (pe *PE) Broadcast(msg *Message) error {
 	msg.SrcPE = pe.id
 	if obs.On() {
@@ -43,7 +46,12 @@ func (pe *PE) Broadcast(msg *Message) error {
 }
 
 // onBroadcast forwards to child nodes in the tree and delivers to every
-// local PE.
+// local PE. It owns one reference on bm.inner (transferred by Broadcast
+// at the root, carried inside the forwarded envelope's payload at inner
+// nodes): each child forward retains one more, and the local fan-out
+// delivers pooled clones that share inner's payload, so releasing the
+// owned reference at the end leaves inner alive exactly as long as some
+// subtree still needs it.
 func (n *SMPNode) onBroadcast(pe *PE, bm *bcastMsg) {
 	m := n.machine
 	nodes := len(m.nodes)
@@ -55,16 +63,17 @@ func (n *SMPNode) onBroadcast(pe *PE, bm *bcastMsg) {
 			break
 		}
 		child := (bm.root + childRel) % nodes
-		fwd := *bm.inner
+		fwd := pe.NewMessage()
+		fwd.CopyFrom(bm.inner)
 		fwd.Handler = m.bcastHandler
-		fwd.Payload = &bcastMsg{inner: bm.inner, root: bm.root}
+		fwd.Payload = &bcastMsg{inner: bm.inner.Retain(), root: bm.root}
 		fwd.destLocal = 0
 		ctx := n.contexts[pe.local%len(n.contexts)]
 		var err error
 		if fwd.Bytes <= 480 {
-			err = ctx.SendImmediate(child, 0, m.dispConverse, &fwd, bm.inner.Bytes)
+			err = ctx.SendImmediate(child, 0, m.dispConverse, fwd, fwd.Bytes)
 		} else {
-			err = ctx.Send(child, 0, m.dispConverse, &fwd, bm.inner.Bytes, nil)
+			err = ctx.Send(child, 0, m.dispConverse, fwd, fwd.Bytes, nil)
 		}
 		if err != nil {
 			panic(fmt.Sprintf("converse: broadcast forward to node %d: %v", child, err))
@@ -73,18 +82,24 @@ func (n *SMPNode) onBroadcast(pe *PE, bm *bcastMsg) {
 			mBcastForward.Inc(pe.id)
 		}
 	}
-	// Local fan-out: one copy per worker PE on this node.
+	// Local fan-out: one pooled clone per worker PE on this node, sharing
+	// inner's payload. CopyFrom leaves the clone's seq/enqNS bookkeeping
+	// zeroed — the old wholesale struct copy inherited the parent's
+	// enqueue timestamp and skewed the deliver-latency histogram.
 	for _, local := range n.pes {
-		clone := *bm.inner
+		clone := pe.NewMessage()
+		clone.CopyFrom(bm.inner)
 		clone.destLocal = local.local
-		local.enqueue(&clone)
+		local.enqueue(clone)
 	}
 	if obs.On() {
 		mBcastDeliver.Add(pe.id, int64(len(n.pes)))
 	}
+	bm.inner.releaseFrom(pe.id)
 }
 
-// BroadcastOthers delivers to every PE except the caller.
+// BroadcastOthers delivers to every PE except the caller, consuming the
+// caller's reference on msg.
 func (pe *PE) BroadcastOthers(msg *Message) error {
 	msg.SrcPE = pe.id
 	skip := pe.id
@@ -95,14 +110,17 @@ func (pe *PE) BroadcastOthers(msg *Message) error {
 		if dst == skip {
 			continue
 		}
-		clone := *msg
+		clone := pe.NewMessage()
+		clone.CopyFrom(msg)
 		// Broadcast clones bypass aggregation: the collective completes
 		// when its slowest leg lands, so buffering any leg for company
 		// stretches the whole operation.
 		clone.NoAgg = true
-		if err := pe.Send(dst, &clone); err != nil {
+		if err := pe.Send(dst, clone); err != nil {
+			msg.releaseFrom(pe.id)
 			return err
 		}
 	}
+	msg.releaseFrom(pe.id)
 	return nil
 }

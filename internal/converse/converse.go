@@ -120,6 +120,13 @@ type Config struct {
 	// pressure. Zero-valued fields inside take their defaults. Nil (the
 	// default) leaves every structure unbounded, as before.
 	FlowControl *flowctl.Config
+	// EnvPoolThreshold sizes the per-PE message-envelope pools (§III-B):
+	// the depth beyond which frees spill to the garbage collector. Zero
+	// selects mempool.DefaultEnvPoolThreshold; a negative value disables
+	// envelope pooling entirely, so PE.NewMessage degrades to a heap
+	// allocation (the pre-pool behavior, kept as the before/after lever
+	// for cmd/memalloc -runtime).
+	EnvPoolThreshold int
 }
 
 func (c *Config) normalize() error {
@@ -190,6 +197,16 @@ type Message struct {
 	// packets on the wire.
 	viaNet   bool
 	fromNode int
+
+	// Pooled-envelope bookkeeping (message.go). mp non-nil marks an
+	// envelope from the machine's §III-B pool; owner is the PE whose pool
+	// recycles it; refs is its reference count, maintained with
+	// sync/atomic functions (a plain int32 so legacy value copies of
+	// unpooled messages stay vet-clean). All three survive the
+	// recycle-time scrub; everything else is zeroed on reuse.
+	mp    *mempool.EnvPool[Message]
+	owner int32
+	refs  int32
 }
 
 // Machine is a running Converse instance spanning Config.Nodes processes.
@@ -215,6 +232,10 @@ type Machine struct {
 	// fc is the flow-control controller, nil unless Config.FlowControl
 	// was set.
 	fc *flowctl.Controller
+
+	// envPool is the per-PE message-envelope pool (message.go), nil when
+	// Config.EnvPoolThreshold < 0.
+	envPool *mempool.EnvPool[Message]
 
 	rzvSeq   atomic.Uint64
 	rzvStats RendezvousStats
@@ -286,6 +307,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 		m.rzvPend = make(map[uint64]*rzvPending)
 		m.rzvSeen = make(map[uint64]bool)
 	}
+	m.envPool = newEnvPool(&cfg, cfg.Nodes*cfg.WorkersPerNode)
 	for r := 0; r < cfg.Nodes; r++ {
 		node := &SMPNode{machine: m, rank: r, halted: make(chan struct{})}
 		alloc := mempool.NewPoolAllocator(cfg.WorkersPerNode+cfg.CommThreads, 0)
@@ -466,6 +488,16 @@ func (m *Machine) HaltNode(rank int) {
 	m.client.Node(rank).Shutdown()
 	if m.fc != nil {
 		m.fc.DropPeer(rank)
+	}
+	// Quarantine the dead PEs' envelope pools: frees of envelopes they
+	// owned (from survivors executing their last messages) fall through to
+	// the GC instead of accumulating in pools nobody will allocate from
+	// again. Envelopes still sitting in the dead node's scheduler queues
+	// are dropped with the queues themselves — fail-stop, no leak.
+	if m.envPool != nil {
+		for _, pe := range node.pes {
+			m.envPool.DropOwner(pe.id)
+		}
 	}
 	for _, pe := range node.pes {
 		pe.wake.Signal()
@@ -707,12 +739,15 @@ func (pe *PE) enqueueBatch(msgs []any) {
 func (pe *PE) Send(dst int, msg *Message) error {
 	m := pe.node.machine
 	if dst < 0 || dst >= len(m.pes) {
+		msg.releaseFrom(pe.id)
 		return fmt.Errorf("converse: PE %d out of range [0,%d)", dst, len(m.pes))
 	}
 	msg.SrcPE = pe.id
 	if msg.BestEffort && m.fc != nil && m.fc.TryShed(pe.id) {
 		// Shedding (ladder rung 2): best-effort traffic is dropped at the
-		// source, counted, so reliable traffic keeps its credits.
+		// source, counted, so reliable traffic keeps its credits. Send
+		// consumes the caller's reference on every path, shed included.
+		msg.releaseFrom(pe.id)
 		return nil
 	}
 	target := m.pes[dst]
@@ -746,13 +781,22 @@ func (pe *PE) Send(dst int, msg *Message) error {
 func (pe *PE) sendDirect(target *PE, msg *Message) error {
 	m := pe.node.machine
 	ctx := pe.node.contexts[pe.local%len(pe.node.contexts)]
+	var err error
 	if msg.Bytes <= pami.ShortLimit {
 		if obs.On() {
 			mSendImmediate.Inc(pe.id)
 		}
-		return ctx.SendImmediate(target.node.rank, target.local, m.dispConverse, msg, msg.Bytes)
+		err = ctx.SendImmediate(target.node.rank, target.local, m.dispConverse, msg, msg.Bytes)
+	} else {
+		err = ctx.Send(target.node.rank, target.local, m.dispConverse, msg, msg.Bytes, nil)
 	}
-	return ctx.Send(target.node.rank, target.local, m.dispConverse, msg, msg.Bytes, nil)
+	if err != nil {
+		// Inject refused (endpoints shut down mid-send): the message will
+		// never be delivered, so nobody downstream releases it. Send
+		// consumes the reference here too.
+		msg.releaseFrom(pe.id)
+	}
+	return err
 }
 
 // run is the CsdScheduler loop with the optimized idle poll (§III-D): spin
@@ -871,13 +915,22 @@ func (pe *PE) invoke(msg *Message) {
 			mDeliverNS.Observe(pe.id, time.Now().UnixNano()-msg.enqNS)
 		}
 	}
+	// Capture the deferred-credit routing before the handler runs: a
+	// handler that Retains and Releases on another goroutine could recycle
+	// the envelope the instant it returns, and credit accounting must not
+	// read scrubbed fields.
+	viaNet, fromNode := msg.viaNet, msg.fromNode
 	m.handlers[msg.Handler](pe, msg)
-	if msg.viaNet && m.fc != nil {
+	if viaNet && m.fc != nil {
 		// Deferred credit release: the message is fully executed, its
 		// scheduler-queue slot and buffer are free — now the sender may
 		// put another one in flight.
-		m.fc.Window(msg.fromNode, pe.node.rank).Release(1)
+		m.fc.Window(fromNode, pe.node.rank).Release(1)
 	}
+	// Release-after-execute, strictly after the deferred credit release:
+	// the envelope must not recycle while its credit is still charged. A
+	// release on a non-owning PE is the §III-B lockless remote free.
+	msg.releaseFrom(pe.id)
 }
 
 // schedq is the PE's local scheduling window. Messages at the default

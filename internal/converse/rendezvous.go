@@ -93,15 +93,22 @@ func (m *Machine) registerRendezvous() {
 // header with Send_immediate.
 func (pe *PE) sendRendezvous(target *PE, msg *Message) error {
 	m := pe.node.machine
-	hdr := &rendezvousHeader{msg: msg, seq: m.rzvSeq.Add(1), srcCtx: pe.local % len(pe.node.contexts)}
+	hdr := &rendezvousHeader{seq: m.rzvSeq.Add(1), srcCtx: pe.local % len(pe.node.contexts)}
+	// The header outlives the send: retransmission timers hold it until
+	// the ack, possibly long after the destination executed (and recycled)
+	// the envelope. Snapshot into an unpooled heap copy owned by the
+	// protocol and release the caller's reference now — a retransmit must
+	// never carry a pointer into the envelope pool.
+	snap := &Message{}
+	snap.CopyFrom(msg)
 	if b, ok := msg.Payload.([]byte); ok {
 		// Real zero-copy path: the payload stays in the registered region
 		// until the destination pulls it.
 		hdr.region = &pami.MemoryRegion{Data: b}
-		clone := *msg
-		clone.Payload = nil
-		hdr.msg = &clone
+		snap.Payload = nil
 	}
+	hdr.msg = snap
+	msg.releaseFrom(pe.id)
 	m.rzvStats.Started.Add(1)
 	ctx := pe.node.contexts[hdr.srcCtx]
 	m.trackRendezvous(hdr, ctx, target.node.rank, target.local)
@@ -220,9 +227,13 @@ func (n *SMPNode) onRendezvousHeader(src int, data any, bytes int) {
 		if err := ctx.Rget(buf, hdr.region, 0, len(buf), nil); err != nil {
 			panic(fmt.Sprintf("converse: rendezvous Rget failed: %v", err))
 		}
-		clone := *msg
-		clone.Payload = buf
-		msg = &clone
+		// Fresh unpooled copy per delivery: the header (and hdr.msg) stays
+		// with the protocol for possible retransmits and must not alias the
+		// enqueued message's payload slot.
+		fresh := &Message{}
+		fresh.CopyFrom(msg)
+		fresh.Payload = buf
+		msg = fresh
 	}
 	m.rzvStats.Pulled.Add(1)
 	n.pes[msg.destLocal].enqueue(msg)

@@ -59,10 +59,11 @@ type Queue interface {
 // paper. Only one consumer goroutine may call Dequeue; any number of
 // goroutines may call Enqueue.
 type L2Queue struct {
-	pc   l2atomic.BoundedCounter // producer counter + bound, adjacent words
-	mask uint64
-	ring []atomic.Pointer[slot]
-	id   int // metric shard key (one queue per consumer PE)
+	pc    l2atomic.BoundedCounter // producer counter + bound, adjacent words
+	mask  uint64
+	ring  []atomic.Pointer[slot]
+	slots []slot // preallocated boxes, one per ring slot (see Enqueue)
+	id    int    // metric shard key (one queue per consumer PE)
 
 	// consumed counts messages the consumer has taken from the ring. Only
 	// the consumer writes it; it is atomic so that monitoring threads may
@@ -84,7 +85,16 @@ type L2Queue struct {
 }
 
 // slot boxes a message so the ring can distinguish "published" from "empty"
-// even when the message itself is a nil interface.
+// even when the message itself is a nil interface. Slots are preallocated
+// one per ring index and recycled in place: a producer may write
+// slots[i] only while it holds ticket i (the bounded counter admits one
+// outstanding ticket per index), and the consumer re-opens the slot —
+// clearing both the box and the ring pointer first — with the bound
+// raise the next producer's load-increment acquires. That ordering makes
+// the in-place reuse race-free and keeps the enqueue fast path
+// allocation-free, which the §III-B envelope pool depends on: a pooled
+// message path that heap-boxed every queue publication would put the GC
+// right back in the hot loop.
 type slot struct{ msg any }
 
 // anyDeque is a FIFO of fixed-size chunks, the overflow queue's backing
@@ -170,9 +180,10 @@ func NewL2Queue(size int) *L2Queue {
 		n <<= 1
 	}
 	q := &L2Queue{
-		mask: uint64(n - 1),
-		ring: make([]atomic.Pointer[slot], n),
-		id:   nextQueueID(),
+		mask:  uint64(n - 1),
+		ring:  make([]atomic.Pointer[slot], n),
+		slots: make([]slot, n),
+		id:    nextQueueID(),
 	}
 	q.pc.Reset(0, uint64(n))
 	return q
@@ -198,7 +209,9 @@ func (q *L2Queue) OverflowCap() int { return int(q.ocap) }
 // reached).
 func (q *L2Queue) Enqueue(msg any) {
 	if ticket, ok := q.pc.BoundedLoadIncrement(); ok {
-		q.ring[ticket&q.mask].Store(&slot{msg: msg})
+		s := &q.slots[ticket&q.mask]
+		s.msg = msg
+		q.ring[ticket&q.mask].Store(s)
 		if obs.On() {
 			mEnqueue.Inc(q.id)
 			mDepthHW.SetMax(int64(ticket + 1 - q.consumed.Load()))
@@ -230,12 +243,13 @@ func (q *L2Queue) EnqueueBatch(msgs []any) {
 		if got == 0 {
 			break
 		}
-		// One backing array boxes the whole run — the per-message &slot{}
-		// allocation is the dominant enqueue cost at batch arrival rates.
-		slots := make([]slot, got)
+		// Each reserved ticket owns its preallocated box exclusively, so
+		// the whole run publishes without allocating.
 		for i := uint64(0); i < got; i++ {
-			slots[i].msg = msgs[i]
-			q.ring[(base+i)&q.mask].Store(&slots[i])
+			idx := (base + i) & q.mask
+			s := &q.slots[idx]
+			s.msg = msgs[i]
+			q.ring[idx].Store(s)
 		}
 		if obs.On() {
 			mEnqueue.Add(q.id, int64(got))
@@ -304,14 +318,18 @@ func (q *L2Queue) parkOnCap() {
 func (q *L2Queue) Dequeue() (any, bool) {
 	idx := q.consumed.Load() & q.mask
 	if s := q.ring[idx].Load(); s != nil {
+		// Take the message and clear the box BEFORE raising the bound:
+		// the raise re-opens this index for producers, who recycle the
+		// box in place.
+		msg := s.msg
+		s.msg = nil
 		q.ring[idx].Store(nil)
 		q.consumed.Add(1)
-		// Re-open the slot for producers.
 		q.pc.StoreAddBound(1)
 		if obs.On() {
 			mDequeue.Inc(q.id)
 		}
-		return s.msg, true
+		return msg, true
 	}
 	if q.olen.Load() > 0 {
 		q.omu.Lock()

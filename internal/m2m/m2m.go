@@ -246,14 +246,17 @@ func (h *Handle) Start(pe *converse.PE) {
 				hi = len(ops)
 			}
 			batch := ops[lo:hi]
-			node.PostToComm(c, func() { h.sendBatch(pe, batch) })
+			// Posted work runs on a comm thread (or whichever worker next
+			// advances the context), not on pe's scheduler goroutine, so it
+			// must not touch pe's single-consumer envelope pool.
+			node.PostToComm(c, func() { h.sendBatch(pe, batch, false) })
 		}
 		return
 	}
-	h.sendBatch(pe, ops)
+	h.sendBatch(pe, ops, true)
 }
 
-func (h *Handle) sendBatch(pe *converse.PE, ops []sendOp) {
+func (h *Handle) sendBatch(pe *converse.PE, ops []sendOp, onPE bool) {
 	if h.mgr.machine.AggregationOn() && len(ops) > 1 {
 		// Batch-aware admission: with the aggregation layer armed, the
 		// burst is grouped by destination so each same-destination run
@@ -273,7 +276,7 @@ func (h *Handle) sendBatch(pe *converse.PE, ops []sendOp) {
 				h.admitN(grouped[lo].dst, int64(hi-lo))
 			}
 			for _, op := range grouped[lo:hi] {
-				h.send(pe, op)
+				h.send(pe, op, onPE)
 			}
 			lo = hi
 		}
@@ -285,16 +288,24 @@ func (h *Handle) sendBatch(pe *converse.PE, ops []sendOp) {
 		if h.inflight != nil && op.dst != pe.Id() {
 			h.admit(op.dst)
 		}
-		h.send(pe, op)
+		h.send(pe, op, onPE)
 	}
 }
 
-func (h *Handle) send(pe *converse.PE, op sendOp) {
-	msg := &converse.Message{
-		Handler: h.mgr.handler,
-		Bytes:   op.bytes,
-		Payload: m2mMsg{handle: h.id, slot: op.slot, src: pe.Id(), data: op.fetch()},
+// send builds and injects one message. onPE selects the envelope
+// constructor: the pooled per-PE pool when running on pe's own scheduler
+// goroutine, the unpooled machine constructor from comm threads (the
+// pool Get is single-consumer).
+func (h *Handle) send(pe *converse.PE, op sendOp, onPE bool) {
+	var msg *converse.Message
+	if onPE {
+		msg = pe.NewMessage()
+	} else {
+		msg = h.mgr.machine.NewMessage()
 	}
+	msg.Handler = h.mgr.handler
+	msg.Bytes = op.bytes
+	msg.Payload = m2mMsg{handle: h.id, slot: op.slot, src: pe.Id(), data: op.fetch()}
 	if err := pe.Send(op.dst, msg); err != nil {
 		panic(fmt.Sprintf("m2m: send to PE %d failed: %v", op.dst, err))
 	}

@@ -1,0 +1,162 @@
+package mempool
+
+import (
+	"sync"
+	"testing"
+)
+
+type testEnv struct {
+	id      int
+	payload [4]uint64
+}
+
+// TestEnvPoolRecycleRoundTrip pins the basic lifecycle: the first Get is
+// a miss (heap), a Put followed by a Get returns the same envelope (a
+// hit), and the stats attribute each event.
+func TestEnvPoolRecycleRoundTrip(t *testing.T) {
+	p := NewEnvPool[testEnv](2, 8)
+	v := p.Get(0)
+	if v == nil {
+		t.Fatal("Get returned nil")
+	}
+	if got := p.Stats().Misses.Load(); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+	v.id = 42
+	p.Put(0, 0, v)
+	if got := p.Stats().LocalFrees.Load(); got != 1 {
+		t.Fatalf("local frees = %d, want 1", got)
+	}
+	if got := p.Len(0); got != 1 {
+		t.Fatalf("Len(0) = %d, want 1", got)
+	}
+	w := p.Get(0)
+	if w != v {
+		t.Fatalf("Get after Put returned a different envelope (%p vs %p)", w, v)
+	}
+	if got := p.Stats().Hits.Load(); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	// Pools do not scrub — that is the owner's (converse's) job — so the
+	// recycled envelope still carries its old contents.
+	if w.id != 42 {
+		t.Fatalf("recycled envelope id = %d, want 42", w.id)
+	}
+}
+
+// TestEnvPoolSpillAtThreshold pins the L2Queue-style spill behaviour:
+// frees beyond the configured threshold drop to the GC and count as heap
+// frees, so a pool bounds its steady-state depth instead of caching
+// bursts forever.
+func TestEnvPoolSpillAtThreshold(t *testing.T) {
+	const threshold = 8
+	p := NewEnvPool[testEnv](1, threshold)
+	const extra = 5
+	for i := 0; i < threshold+extra; i++ {
+		p.Put(0, 0, &testEnv{id: i})
+	}
+	if got := p.Len(0); got != threshold {
+		t.Fatalf("pool depth = %d, want %d (threshold)", got, threshold)
+	}
+	if got := p.Stats().HeapFrees.Load(); got != extra {
+		t.Fatalf("heap frees = %d, want %d", got, extra)
+	}
+	if got := p.Stats().LocalFrees.Load(); got != threshold {
+		t.Fatalf("local frees = %d, want %d", got, threshold)
+	}
+}
+
+// TestEnvPoolRemoteFreeRace exercises the §III-B pattern under the race
+// detector: the owner allocates continuously from its pool while several
+// non-owner goroutines concurrently free envelopes back to it (lockless
+// enqueues on the owner's ring). Every envelope handed out must come
+// back, and the single-consumer Get must never observe a torn slot.
+func TestEnvPoolRemoteFreeRace(t *testing.T) {
+	const (
+		owner   = 0
+		freers  = 4
+		rounds  = 2000
+		batchSz = 8
+	)
+	p := NewEnvPool[testEnv](freers+1, 64)
+	ch := make(chan *testEnv, freers*batchSz)
+	var wg sync.WaitGroup
+	for f := 1; f <= freers; f++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for v := range ch {
+				// Write then free: the race detector will flag the write
+				// against the owner's reuse unless the pool's ring raise
+				// orders them.
+				v.payload[0]++
+				p.Put(tid, owner, v)
+			}
+		}(f)
+	}
+	for i := 0; i < rounds; i++ {
+		for j := 0; j < batchSz; j++ {
+			v := p.Get(owner)
+			v.payload[1]++ // owner-side reuse write, racing the freers' writes if the pool is broken
+			ch <- v
+		}
+	}
+	close(ch)
+	wg.Wait()
+	st := p.Stats()
+	if st.RemoteFrees.Load()+st.HeapFrees.Load()+st.DeadDrops.Load() != rounds*batchSz {
+		t.Fatalf("frees %d+%d+%d do not account for %d envelopes",
+			st.RemoteFrees.Load(), st.HeapFrees.Load(), st.DeadDrops.Load(), rounds*batchSz)
+	}
+	if st.LocalFrees.Load() != 0 {
+		t.Fatalf("local frees = %d on a remote-only workload", st.LocalFrees.Load())
+	}
+	if st.Hits.Load() == 0 {
+		t.Fatal("no pool hits — remote frees never reached the owner's pool")
+	}
+}
+
+// TestEnvPoolDropOwner pins the fault-tolerance contract: after
+// DropOwner, the quarantined pool is drained and later frees of the dead
+// owner's envelopes fall to the GC instead of pooling.
+func TestEnvPoolDropOwner(t *testing.T) {
+	p := NewEnvPool[testEnv](2, 8)
+	p.Put(1, 0, &testEnv{}) // remote free parks one envelope with owner 0
+	if got := p.Len(0); got != 1 {
+		t.Fatalf("Len(0) = %d before drop, want 1", got)
+	}
+	p.DropOwner(0)
+	if got := p.Len(0); got != 0 {
+		t.Fatalf("Len(0) = %d after drop, want 0 (drained)", got)
+	}
+	drops0 := p.Stats().DeadDrops.Load()
+	if drops0 == 0 {
+		t.Fatal("draining the dropped pool counted no dead drops")
+	}
+	p.Put(1, 0, &testEnv{})
+	if got := p.Len(0); got != 0 {
+		t.Fatalf("Len(0) = %d after post-drop Put, want 0", got)
+	}
+	if got := p.Stats().DeadDrops.Load(); got != drops0+1 {
+		t.Fatalf("dead drops = %d after post-drop Put, want %d", got, drops0+1)
+	}
+	// Surviving owners are untouched.
+	p.Put(1, 1, &testEnv{})
+	if got := p.Len(1); got != 1 {
+		t.Fatalf("Len(1) = %d, want 1 — DropOwner(0) leaked into owner 1", got)
+	}
+}
+
+// TestEnvPoolGetPutAllocFree pins the allocation profile of the recycle
+// fast path: a Get served from the pool plus a Put below threshold
+// allocate nothing.
+func TestEnvPoolGetPutAllocFree(t *testing.T) {
+	p := NewEnvPool[testEnv](1, 64)
+	p.Put(0, 0, &testEnv{})
+	if n := testing.AllocsPerRun(1000, func() {
+		v := p.Get(0)
+		p.Put(0, 0, v)
+	}); n != 0 {
+		t.Fatalf("pooled Get+Put allocates %.1f, want 0", n)
+	}
+}

@@ -19,4 +19,15 @@ var (
 	// Flow-control instrumentation: current pressure level (0 = below soft
 	// watermark, 1 = soft, 2 = hard), set on level transitions only.
 	mPressure = obs.NewGauge("mempool", "mem_pressure_level")
+
+	// Envelope pool (EnvPool) traffic: hits/misses on Get, local vs
+	// remote (lockless cross-PE) frees on Put, and the two GC fall-through
+	// paths — pool at spill threshold, and owner removed by DropOwner
+	// during fault recovery.
+	mEnvHit        = obs.NewCounter("mempool", "env_hit_total", 0)
+	mEnvMiss       = obs.NewCounter("mempool", "env_miss_total", 0)
+	mEnvLocalFree  = obs.NewCounter("mempool", "env_local_free_total", 0)
+	mEnvRemoteFree = obs.NewCounter("mempool", "env_remote_free_total", 0)
+	mEnvHeapFree   = obs.NewCounter("mempool", "env_heap_free_total", 0)
+	mEnvDeadDrop   = obs.NewCounter("mempool", "env_dead_drop_total", 0)
 )
