@@ -27,6 +27,7 @@ import (
 	"blueq/internal/mempool"
 	"blueq/internal/obs"
 	"blueq/internal/trace"
+	"blueq/internal/transport"
 )
 
 // TestMain emits a machine-readable metrics sidecar next to benchmark
@@ -151,6 +152,31 @@ func BenchmarkFig5PingPongIntraNodeFlow(b *testing.B) {
 			if fc := machine.FlowController(); fc.BlockedTotal() != 0 || fc.ShedCount() != 0 {
 				b.Fatalf("uncontended ping-pong parked %d / shed %d — flow control interfered",
 					fc.BlockedTotal(), fc.ShedCount())
+			}
+		})
+	}
+}
+
+// The same intra-node ping-pong with the machine built over an unreliable
+// transport, which arms the PAMI reliability sublayer and the wire CRC32C
+// (the software stand-in for the MU's hardware ECC). unreliable=1 forces
+// the arming with every fault rate at zero, so the measurement isolates
+// the integrity machinery's standing cost: intra-node hops must remain
+// pointer exchanges — 0 allocs/op, within the gate tolerance of the
+// unarmed run — with the checksum armed at the wire layer.
+func BenchmarkFig5PingPongIntraNodeCRC(b *testing.B) {
+	for _, mode := range []converse.Mode{converse.ModeSMP, converse.ModeSMPComm} {
+		b.Run(mode.String(), func(b *testing.B) {
+			tr, err := transport.New("faulty:seed=1,unreliable=1", 1, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+			machine := runFig5PingPong(b, converse.Config{
+				Nodes: 1, WorkersPerNode: 2, Mode: mode, Transport: tr,
+			})
+			if !machine.PAMIClient().CRCArmed() {
+				b.Fatal("CRC not armed over the unreliable transport")
 			}
 		})
 	}

@@ -72,8 +72,11 @@ func main() {
 		case "agg":
 			section("E16: message aggregation — flood msgs/sec vs payload size (internal/aggregate)")
 			aggSweep(*aggMsgs, agc)
+		case "integrity":
+			section("E17: wire+checkpoint integrity and cascading-failure recovery (internal/pami, internal/ft)")
+			integritySection(*seed)
 		default:
-			log.Fatalf("unknown -only section %q (want ft, agg)", *only)
+			log.Fatalf("unknown -only section %q (want ft, agg, integrity)", *only)
 		}
 		return
 	}
@@ -158,6 +161,9 @@ func main() {
 
 	section("E16: message aggregation — flood msgs/sec vs payload size (internal/aggregate)")
 	aggSweep(*aggMsgs, agc)
+
+	section("E17: wire+checkpoint integrity and cascading-failure recovery (internal/pami, internal/ft)")
+	integritySection(*seed)
 }
 
 // nativeObservability enables the obs instrumentation, drives the native

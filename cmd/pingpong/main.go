@@ -20,6 +20,7 @@ import (
 	"blueq/internal/cluster"
 	"blueq/internal/converse"
 	"blueq/internal/flowctl"
+	"blueq/internal/pami"
 	"blueq/internal/transport"
 )
 
@@ -36,10 +37,12 @@ func main() {
 	agg := flag.Bool("agg", false, "arm the per-destination message aggregation layer on the native run")
 	aggBytes := flag.Int("agg-bytes", 0, "aggregation batch size in bytes (0 = default; implies -agg)")
 	aggDelay := flag.Duration("agg-delay", 0, "aggregation max flush delay (0 = default; implies -agg)")
+	crc := flag.Bool("crc", true, "arm the wire CRC32C on unreliable transports (disabling under corrupt= injection surrenders exactly-once)")
 	flag.Parse()
 	if *seed != 0 {
 		*spec = transport.WithSeed(*spec, *seed)
 	}
+	pami.CRCEnabled = *crc
 	var fcc *flowctl.Config
 	if *flow || *fcWindow > 0 || *fcOverflowCap > 0 {
 		fcc = &flowctl.Config{Window: *fcWindow, OverflowCap: *fcOverflowCap}

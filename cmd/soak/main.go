@@ -56,7 +56,18 @@ func main() {
 	aggBytes := flag.Int("agg-bytes", 0, "aggregation batch size in bytes (0 = default; implies -agg)")
 	aggDelay := flag.Duration("agg-delay", 0, "aggregation max flush delay (0 = default; implies -agg)")
 	sweep := flag.Bool("sweep", false, "run the offered-load saturation sweep instead of the soak")
+	corrupt := flag.Float64("corrupt", 0, "packet corruption rate armed on faulty transports (truncation at half the rate)")
+	kills := flag.String("kills", "", "N@DUR chaos schedule for the fft cell: N fail-stops spread DUR apart, asserting bitwise-identical output (e.g. 2@100ms)")
 	flag.Parse()
+
+	var ks *killSchedule
+	if *kills != "" {
+		var err error
+		if ks, err = parseKills(*kills); err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	fcc := flowctl.Config{
 		Window:      *fcWindow,
@@ -77,6 +88,9 @@ func main() {
 		}
 	} else {
 		specs = []string{transport.WithSeed(*spec, *seed)}
+	}
+	for i, sp := range specs {
+		specs[i] = withCorrupt(sp, *corrupt)
 	}
 
 	if *sweep {
@@ -107,7 +121,11 @@ func main() {
 			case "flood":
 				err = runFlood(sp, cell, *slow, fcc, agc)
 			case "fft":
-				err = runFFTSoak(sp, cell, *slow, fcc, agc)
+				if ks != nil {
+					err = runFFTChaosCell(sp, ks)
+				} else {
+					err = runFFTSoak(sp, cell, *slow, fcc, agc)
+				}
 			case "md":
 				err = runMDSoak(sp, cell, *slow, fcc, agc)
 			}

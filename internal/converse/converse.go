@@ -98,6 +98,14 @@ type Config struct {
 	// where the timers would be pure overhead. NewMachine defaults it to
 	// DefaultRendezvousTimeout when the transport is unreliable.
 	RendezvousTimeout time.Duration
+	// OnRzvAbandon is invoked (from the retry-timer goroutine, after the
+	// transfer is already untracked) when a rendezvous transfer is
+	// abandoned: maxRzvRetries header retransmissions to dstRank went
+	// unacked, so bytes of payload are silently gone. The default counts
+	// it (converse/rzv_abandon_total) and emits a rate-limited log line;
+	// applications that cannot tolerate silent loss override it to
+	// surface or escalate. Must not block.
+	OnRzvAbandon func(dstRank, bytes int)
 	// Aggregation, when non-nil, arms the TRAM-style per-destination
 	// message aggregation layer: small remote messages (at or below
 	// Aggregation.MaxMsgBytes) append into per-(src node, dst node) batch
@@ -245,6 +253,8 @@ type Machine struct {
 	rzvMu   sync.Mutex
 	rzvPend map[uint64]*rzvPending
 	rzvSeen map[uint64]bool
+	// rzvAbandonLogNS rate-limits the default abandonment log line.
+	rzvAbandonLogNS atomic.Int64
 
 	// internal handler id for spanning-tree broadcasts
 	bcastHandler int

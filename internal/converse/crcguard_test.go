@@ -1,0 +1,90 @@
+package converse
+
+import (
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blueq/internal/pami"
+	"blueq/internal/transport"
+)
+
+// The armed-CRC overhead guard: the wire checksum must stay a small tax
+// on the inter-node fast path. The same inter-node ping-pong runs twice
+// in-process over faulty:unreliable=1 — every fault rate zero, so the
+// reliability sublayer and (when enabled) the CRC are armed but nothing
+// is ever lost — once with the checksum disarmed and once armed. The
+// steady-state cost measures ~10% of a ~3.5µs hop on an idle host, but
+// wall-clock ratios on shared runners swing by tens of percent, so the
+// bar is 50%: it exists to catch a gross regression (a per-packet
+// allocation or serialization sneaking into stamp/verify doubles the
+// hop), not to referee noise. Each side takes the best of several trials
+// and the test only runs when CRC_BENCH_GUARD is set (the CI bench-smoke
+// job sets it).
+
+// interNodePingPongLatency measures mean one-way inter-node latency over
+// the armed reliability sublayer, best of trials.
+func interNodePingPongLatency(t *testing.T, withCRC bool, rounds, trials int) time.Duration {
+	t.Helper()
+	prev := pami.CRCEnabled
+	pami.CRCEnabled = withCRC
+	defer func() { pami.CRCEnabled = prev }()
+
+	best := time.Duration(1<<62 - 1)
+	for trial := 0; trial < trials; trial++ {
+		tr, err := transport.New("faulty:seed=1,unreliable=1", 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewMachine(Config{Nodes: 2, WorkersPerNode: 1, Mode: ModeSMP, Transport: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.PAMIClient().CRCArmed() != withCRC {
+			t.Fatalf("CRCArmed() = %v, want %v", m.PAMIClient().CRCArmed(), withCRC)
+		}
+		var rnds atomic.Int64
+		var start time.Time
+		var elapsed time.Duration
+		var h int
+		h = m.RegisterHandler(func(pe *PE, msg *Message) {
+			if rnds.Add(1) >= int64(rounds) {
+				elapsed = time.Since(start)
+				m.Shutdown()
+				return
+			}
+			r := pe.NewMessage()
+			r.Handler = h
+			r.Bytes = 32
+			_ = pe.Send(1-pe.Id(), r)
+		})
+		m.Run(func(pe *PE) {
+			if pe.Id() == 0 {
+				start = time.Now()
+				m0 := pe.NewMessage()
+				m0.Handler = h
+				m0.Bytes = 32
+				_ = pe.Send(1, m0)
+			}
+		})
+		if lat := elapsed / time.Duration(rounds); lat < best {
+			best = lat
+		}
+	}
+	return best
+}
+
+func TestInterNodePingPongCRCGuard(t *testing.T) {
+	if os.Getenv("CRC_BENCH_GUARD") == "" {
+		t.Skip("wall-clock guard; set CRC_BENCH_GUARD=1 to run (CI bench-smoke does)")
+	}
+	const rounds, trials = 4000, 7
+	bare := interNodePingPongLatency(t, false, rounds, trials)
+	armed := interNodePingPongLatency(t, true, rounds, trials)
+	t.Logf("inter-node ping-pong: crc-off %v, crc-on %v (%+.1f%%)",
+		bare, armed, 100*(float64(armed)/float64(bare)-1))
+	if float64(armed) > 1.5*float64(bare) {
+		t.Fatalf("CRC-armed ping-pong %v exceeds disarmed %v by more than 50%%", armed, bare)
+	}
+}

@@ -2,9 +2,11 @@ package converse
 
 import (
 	"fmt"
+	"log"
 	"sync/atomic"
 	"time"
 
+	"blueq/internal/obs"
 	"blueq/internal/pami"
 )
 
@@ -150,6 +152,7 @@ func (m *Machine) retryRendezvous(seq uint64) {
 		delete(m.rzvPend, seq)
 		m.rzvMu.Unlock()
 		m.rzvStats.Abandoned.Add(1)
+		m.reportRzvAbandon(p.dstRank, p.hdr.msg.Bytes)
 		return
 	}
 	p.backoff *= 2
@@ -161,6 +164,26 @@ func (m *Machine) retryRendezvous(seq uint64) {
 	m.rzvMu.Unlock()
 	m.rzvStats.Retried.Add(1)
 	_ = p.ctx.SendImmediate(p.dstRank, p.dstCtx, m.dispRendezvous, p.hdr, 64)
+}
+
+// reportRzvAbandon surfaces an abandoned transfer — data silently lost
+// after the retry budget. The configured hook gets it; with no hook the
+// loss is still counted and logged at most once a second, so a dead
+// channel's worth of abandonments cannot drown the run's output.
+func (m *Machine) reportRzvAbandon(dstRank, bytes int) {
+	if obs.On() {
+		mRzvAbandon.Inc(dstRank)
+	}
+	if hook := m.cfg.OnRzvAbandon; hook != nil {
+		hook(dstRank, bytes)
+		return
+	}
+	now := time.Now().UnixNano()
+	last := m.rzvAbandonLogNS.Load()
+	if now-last >= time.Second.Nanoseconds() && m.rzvAbandonLogNS.CompareAndSwap(last, now) {
+		log.Printf("converse: rendezvous transfer to node %d (%d bytes) abandoned after %d retries",
+			dstRank, bytes, maxRzvRetries)
+	}
 }
 
 // completeRendezvous runs at the sender when the ack arrives. Returns

@@ -2,6 +2,7 @@ package ft
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"time"
 
@@ -37,10 +38,27 @@ type elemKey struct {
 	idx   int
 }
 
+// ckptCRCTable is the CRC32C table for checkpoint blobs — the same
+// polynomial the wire packets carry.
+var ckptCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// sumBlob is the checkpoint-blob checksum: a blob corrupted in transit to
+// the buddy or rotted in a store is rejected at restore and the other
+// copy is used instead.
+func sumBlob(b []byte) uint32 { return crc32.Checksum(b, ckptCRCTable) }
+
+// storedBlob is one checkpointed blob plus the checksum stamped when it
+// was packed.
+type storedBlob struct {
+	data []byte
+	sum  uint32
+}
+
 // epochStore holds one epoch's blobs on one node.
 type epochStore struct {
-	elems map[elemKey][]byte
-	app   []byte
+	elems  map[elemKey]storedBlob
+	app    storedBlob
+	hasApp bool
 }
 
 // nodeStore is a node's in-memory checkpoint storage. Entry handlers on
@@ -58,40 +76,55 @@ func newNodeStore() *nodeStore {
 func (s *nodeStore) epoch(e uint64) *epochStore {
 	st := s.epochs[e]
 	if st == nil {
-		st = &epochStore{elems: make(map[elemKey][]byte)}
+		st = &epochStore{elems: make(map[elemKey]storedBlob)}
 		s.epochs[e] = st
 	}
 	return st
 }
 
-func (s *nodeStore) put(e uint64, entries []ckptEntry, app []byte) {
+func (s *nodeStore) put(e uint64, entries []ckptEntry, app []byte, appSum uint32) {
 	s.mu.Lock()
 	st := s.epoch(e)
 	for _, en := range entries {
-		st.elems[elemKey{en.Array, en.Idx}] = en.Blob
+		st.elems[elemKey{en.Array, en.Idx}] = storedBlob{data: en.Blob, sum: en.Sum}
 	}
-	if app != nil {
-		st.app = app
+	if app != nil || !st.hasApp {
+		st.app = storedBlob{data: app, sum: appSum}
+		st.hasApp = true
 	}
 	s.mu.Unlock()
 }
 
-func (s *nodeStore) get(e uint64, k elemKey) []byte {
+// get returns a blob only when its checksum still matches; a corrupted
+// copy reports verified=false so the caller falls back to the buddy.
+func (s *nodeStore) get(e uint64, k elemKey) (blob []byte, verified bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if st := s.epochs[e]; st != nil {
-		return st.elems[k]
+	st := s.epochs[e]
+	if st == nil {
+		return nil, true
 	}
-	return nil
+	b, ok := st.elems[k]
+	if !ok {
+		return nil, true
+	}
+	if sumBlob(b.data) != b.sum {
+		return nil, false
+	}
+	return b.data, true
 }
 
-func (s *nodeStore) getApp(e uint64) []byte {
+func (s *nodeStore) getApp(e uint64) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if st := s.epochs[e]; st != nil {
-		return st.app
+	st := s.epochs[e]
+	if st == nil || !st.hasApp {
+		return nil, true
 	}
-	return nil
+	if sumBlob(st.app.data) != st.app.sum {
+		return nil, false
+	}
+	return st.app.data, true
 }
 
 func (s *nodeStore) gcBelow(e uint64) {
@@ -104,11 +137,14 @@ func (s *nodeStore) gcBelow(e uint64) {
 	s.mu.Unlock()
 }
 
-// ckptEntry is one element's packed state in a batch.
+// ckptEntry is one element's packed state in a batch. Sum is stamped by
+// the packer, travels with the blob, and is re-verified at restore — so a
+// blob damaged anywhere between pack and restore is caught.
 type ckptEntry struct {
 	Array string
 	Idx   int
 	Blob  []byte
+	Sum   uint32
 }
 
 // ckptMsg asks a PE to pack its homed elements for an epoch.
@@ -116,6 +152,7 @@ type ckptMsg struct {
 	Epoch  uint64
 	Leader int
 	App    []byte
+	AppSum uint32
 }
 
 // buddyMsg carries a PE's batch to its buddy node.
@@ -124,6 +161,7 @@ type buddyMsg struct {
 	Leader int
 	Elems  []ckptEntry
 	App    []byte
+	AppSum uint32
 }
 
 // ackMsg reports one stored copy to the leader.
@@ -159,8 +197,24 @@ func (mgr *Manager) CheckpointDue() bool {
 // an application quiescent point — no protected-array messages may be in
 // flight. cont runs on the leader PE once the epoch commits; chain the
 // next phase of work there. Returns an error if a round is already in
-// progress (the caller's quiescence discipline is broken).
+// progress (the caller's quiescence discipline is broken) or a recovery
+// is — the recovery pass takes its own checkpoint before resuming.
 func (mgr *Manager) Checkpoint(pe *converse.PE, cont func(pe *converse.PE)) error {
+	if mgr.recovering.Load() {
+		return fmt.Errorf("ft: recovery in progress; it checkpoints before resuming")
+	}
+	var app []byte
+	if pack, _ := mgr.appHooks(); pack != nil {
+		app = pack()
+	}
+	return mgr.checkpointWithApp(pe, app, cont)
+}
+
+// checkpointWithApp is Checkpoint with the application blob supplied by
+// the caller. Recovery uses it to re-protect rolled-back state under the
+// restored epoch's app blob — the restart hook has not run yet, so packing
+// fresh app state would snapshot a cursor ahead of the elements.
+func (mgr *Manager) checkpointWithApp(pe *converse.PE, app []byte, cont func(pe *converse.PE)) error {
 	live := mgr.liveNodes()
 	leader := mgr.leaderPE()
 	mgr.ckptMu.Lock()
@@ -180,11 +234,7 @@ func (mgr *Manager) Checkpoint(pe *converse.PE, cont func(pe *converse.PE)) erro
 	// the epoch, and none can die buffered on a node that fails later.
 	mgr.m.FlushAggregation()
 
-	var app []byte
-	if pack, _ := mgr.appHooks(); pack != nil {
-		app = pack()
-	}
-	msg := &ckptMsg{Epoch: epoch, Leader: leader, App: app}
+	msg := &ckptMsg{Epoch: epoch, Leader: leader, App: app, AppSum: sumBlob(app)}
 	for _, r := range live {
 		for w := 0; w < mgr.wpn; w++ {
 			if err := mgr.grp.Send(pe, r*mgr.wpn+w, mgr.eCkpt, msg, 32+len(app)); err != nil {
@@ -210,12 +260,12 @@ func (mgr *Manager) onCkpt(pe *converse.PE, m *ckptMsg) {
 					a.Name(), idx, a.Element(idx)))
 			}
 			blob := c.PackCheckpoint()
-			batch = append(batch, ckptEntry{Array: a.Name(), Idx: idx, Blob: blob})
+			batch = append(batch, ckptEntry{Array: a.Name(), Idx: idx, Blob: blob, Sum: sumBlob(blob)})
 			bytes += len(blob)
 		}
 	}
 	self := mgr.nodeOf(pe.Id())
-	mgr.stores[self].put(m.Epoch, batch, m.App)
+	mgr.stores[self].put(m.Epoch, batch, m.App, m.AppSum)
 	if obs.On() {
 		obsCkptBytes.Add(pe.Id(), int64(bytes))
 	}
@@ -225,14 +275,26 @@ func (mgr *Manager) onCkpt(pe *converse.PE, m *ckptMsg) {
 	if err != nil {
 		buddy = self // degenerate single-node case
 	}
-	bm := &buddyMsg{Epoch: m.Epoch, Leader: m.Leader, Elems: batch, App: m.App}
+	bm := &buddyMsg{Epoch: m.Epoch, Leader: m.Leader, Elems: batch, App: m.App, AppSum: m.AppSum}
 	_ = mgr.grp.Send(pe, buddy*mgr.wpn, mgr.eBuddy, bm, 32+bytes)
 	_ = mgr.grp.Send(pe, m.Leader, mgr.eAck, &ackMsg{Epoch: m.Epoch}, 16)
 }
 
 // onBuddy stores a remote PE's batch as this node's buddy copy and acks.
+// The blobs are copied on receipt: in-process message passing shares the
+// packer's slices, and a double copy that aliases the original is no
+// copy at all — rot (or a buggy in-place unpack) would destroy both.
 func (mgr *Manager) onBuddy(pe *converse.PE, m *buddyMsg) {
-	mgr.stores[mgr.nodeOf(pe.Id())].put(m.Epoch, m.Elems, m.App)
+	elems := make([]ckptEntry, len(m.Elems))
+	for i, en := range m.Elems {
+		en.Blob = append([]byte(nil), en.Blob...)
+		elems[i] = en
+	}
+	app := append([]byte(nil), m.App...)
+	if m.App == nil {
+		app = nil
+	}
+	mgr.stores[mgr.nodeOf(pe.Id())].put(m.Epoch, elems, app, m.AppSum)
 	_ = mgr.grp.Send(pe, m.Leader, mgr.eAck, &ackMsg{Epoch: m.Epoch}, 16)
 }
 
@@ -272,27 +334,46 @@ func (mgr *Manager) abortRound() {
 	mgr.ckptMu.Unlock()
 }
 
-// findCopy locates a surviving copy of an element's blob at an epoch,
-// returning the blob and the node holding it.
+// findCopy locates a surviving checksum-verified copy of an element's
+// blob at an epoch, returning the blob and the node holding it. A copy
+// that fails verification is counted and skipped — the buddy copy on the
+// next node repairs the rot.
 func (mgr *Manager) findCopy(k elemKey, epoch uint64) ([]byte, int) {
 	for r := 0; r < mgr.m.NumNodes(); r++ {
 		if mgr.m.NodeDead(r) {
 			continue
 		}
-		if blob := mgr.stores[r].get(epoch, k); blob != nil {
+		blob, verified := mgr.stores[r].get(epoch, k)
+		if !verified {
+			mgr.ckptCRCFails.Add(1)
+			if obs.On() {
+				obsCkptCRCFail.Inc(r)
+			}
+			continue
+		}
+		if blob != nil {
 			return blob, r
 		}
 	}
 	return nil, -1
 }
 
-// findApp locates a surviving copy of the application blob at an epoch.
+// findApp locates a surviving verified copy of the application blob at an
+// epoch.
 func (mgr *Manager) findApp(epoch uint64) []byte {
 	for r := 0; r < mgr.m.NumNodes(); r++ {
 		if mgr.m.NodeDead(r) {
 			continue
 		}
-		if app := mgr.stores[r].getApp(epoch); app != nil {
+		app, verified := mgr.stores[r].getApp(epoch)
+		if !verified {
+			mgr.ckptCRCFails.Add(1)
+			if obs.On() {
+				obsCkptCRCFail.Inc(r)
+			}
+			continue
+		}
+		if app != nil {
 			return app
 		}
 	}

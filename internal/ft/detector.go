@@ -106,8 +106,11 @@ func (mgr *Manager) onHeartbeat(observer, src int) {
 }
 
 // monitorLoop evaluates suspicion and confirmation each heartbeat
-// interval. It is the only writer of mgr.suspected and the only caller of
-// recover, so detection events are naturally serialized.
+// interval. It is the only writer of mgr.suspected. Confirmed failures
+// are handed to the recovery goroutine through the queue, so detection
+// keeps running while a recovery is in progress — a second failure
+// landing mid-recovery is confirmed here and folded into the running pass
+// (or starts the next one) instead of waiting behind it.
 func (mgr *Manager) monitorLoop() {
 	defer mgr.wg.Done()
 	tick := time.NewTicker(mgr.cfg.HeartbeatInterval)
@@ -118,28 +121,42 @@ func (mgr *Manager) monitorLoop() {
 			return
 		case <-tick.C:
 		}
-		if dead, ok := mgr.evaluate(); ok {
-			mgr.recover(dead)
+		if dead := mgr.evaluate(); len(dead) > 0 {
+			mgr.enqueueDead(dead)
 		}
 	}
 }
 
-// evaluate updates per-pair suspicion and returns a majority-confirmed
-// failed node, if any.
-func (mgr *Manager) evaluate() (int, bool) {
+// evaluate updates per-pair suspicion and returns every node whose
+// failure a majority of eligible observers confirms this tick — several
+// nodes can confirm in the same tick (simultaneous kills).
+//
+// Two rules keep the vote sound when more than one node is in trouble:
+//
+//   - An observer whose own view suspects every other live unconfirmed
+//     peer is excluded from the electorate: uniform silence is the
+//     signature of the observer's own receive path being dead (a wedged
+//     or killed-but-unconfirmed node), and counting its votes would let
+//     two dying nodes confirm a healthy one. If exclusion empties the
+//     electorate (a 2-node machine, or no live majority — beyond what
+//     majority detection can decide), every live unconfirmed node votes.
+//   - The suspicion matrix is updated for all pairs first and confirmed
+//     targets are collected after the full tally, so confirming node A
+//     never clears or skews the evidence against node B in the same tick.
+func (mgr *Manager) evaluate() []int {
 	nodes := mgr.m.NumNodes()
 	now := time.Now().UnixNano()
 	floor := mgr.cfg.SuspectAfter.Nanoseconds()
-	for target := 0; target < nodes; target++ {
-		if mgr.confirmed[target].Load() {
+
+	// Sweep 1: refresh the full suspicion matrix from this tick's clock.
+	for obsr := 0; obsr < nodes; obsr++ {
+		if mgr.m.NodeDead(obsr) || mgr.confirmed[obsr].Load() {
 			continue
 		}
-		votes, observers := 0, 0
-		for obsr := 0; obsr < nodes; obsr++ {
-			if obsr == target || mgr.m.NodeDead(obsr) || mgr.confirmed[obsr].Load() {
+		for target := 0; target < nodes; target++ {
+			if target == obsr || mgr.confirmed[target].Load() {
 				continue
 			}
-			observers++
 			silence := now - mgr.lastHeard[obsr][target].Load()
 			threshold := floor
 			if adaptive := int64(mgr.cfg.PhiFactor * float64(mgr.interval[obsr][target].Load())); adaptive > threshold {
@@ -153,31 +170,79 @@ func (mgr *Manager) evaluate() (int, bool) {
 				}
 			}
 			mgr.suspected[obsr][target] = sus
-			if sus {
+		}
+	}
+
+	// Electorate: live unconfirmed nodes that still hear someone.
+	alive := func(r int) bool { return !mgr.m.NodeDead(r) && !mgr.confirmed[r].Load() }
+	eligible := make([]bool, nodes)
+	nEligible := 0
+	for obsr := 0; obsr < nodes; obsr++ {
+		if !alive(obsr) {
+			continue
+		}
+		suspectsAll, peers := true, 0
+		for t := 0; t < nodes; t++ {
+			if t == obsr || !alive(t) {
+				continue
+			}
+			peers++
+			if !mgr.suspected[obsr][t] {
+				suspectsAll = false
+			}
+		}
+		if peers > 0 && !suspectsAll {
+			eligible[obsr] = true
+			nEligible++
+		}
+	}
+	if nEligible == 0 {
+		for r := 0; r < nodes; r++ {
+			if alive(r) {
+				eligible[r] = true
+			}
+		}
+	}
+
+	// Sweep 2: tally every unconfirmed target against the electorate.
+	var confirmedNow []int
+	for target := 0; target < nodes; target++ {
+		if mgr.confirmed[target].Load() {
+			continue
+		}
+		votes, observers := 0, 0
+		for obsr := 0; obsr < nodes; obsr++ {
+			if obsr == target || !eligible[obsr] {
+				continue
+			}
+			observers++
+			if mgr.suspected[obsr][target] {
 				votes++
 			}
 		}
 		if observers > 0 && 2*votes > observers {
-			mgr.confirmed[target].Store(true)
-			mgr.confirmations.Add(1)
-			if obs.On() {
-				obsConfirmation.Inc(target)
-				// Detection latency: how long the quietest majority
-				// observer had been waiting when the vote passed.
-				latest := int64(0)
-				for o := 0; o < nodes; o++ {
-					if o != target && mgr.suspected[o][target] {
-						if hb := mgr.lastHeard[o][target].Load(); hb > latest {
-							latest = hb
-						}
-					}
-				}
-				if latest > 0 {
-					obsDetectNS.Observe(target, now-latest)
-				}
-			}
-			return target, true
+			confirmedNow = append(confirmedNow, target)
 		}
 	}
-	return 0, false
+	for _, target := range confirmedNow {
+		mgr.confirmed[target].Store(true)
+		mgr.confirmations.Add(1)
+		if obs.On() {
+			obsConfirmation.Inc(target)
+			// Detection latency: how long the quietest majority
+			// observer had been waiting when the vote passed.
+			latest := int64(0)
+			for o := 0; o < nodes; o++ {
+				if o != target && mgr.suspected[o][target] {
+					if hb := mgr.lastHeard[o][target].Load(); hb > latest {
+						latest = hb
+					}
+				}
+			}
+			if latest > 0 {
+				obsDetectNS.Observe(target, now-latest)
+			}
+		}
+	}
+	return confirmedNow
 }

@@ -109,3 +109,116 @@ func TestKillWhileThrottledUnblocksParkedSenders(t *testing.T) {
 		t.Fatalf("run took %v, senders apparently waited out MaxBlock (%v)", elapsed, maxBlock)
 	}
 }
+
+// TestKillWhileThrottledDropsPooledEnvelopes combines the envelope pool
+// with the throttled-kill path: the victim dies while (a) a survivor is
+// parked on its exhausted credit window and (b) envelopes the victim's
+// pool owns are still in flight toward a slow survivor. The kill fires
+// EnvPool.DropOwner and flowctl.DropPeer back to back for the same PE;
+// the parked sender must release, and every late free of a victim-owned
+// envelope must fall through to the GC (DeadDrops) instead of wedging or
+// accumulating in a pool nobody will drain. Run under -race in CI: the
+// quarantine racing remote frees is the point.
+func TestKillWhileThrottledDropsPooledEnvelopes(t *testing.T) {
+	const (
+		nodes    = 3
+		flood    = 200 // PE 0 → victim, parks the sender
+		burst    = 60  // victim → PE 2, pooled envelopes owned by the victim
+		maxBlock = 60 * time.Second
+	)
+	conv := converse.Config{
+		Nodes:          nodes,
+		WorkersPerNode: 1,
+		Mode:           converse.ModeSMP,
+		FlowControl: &flowctl.Config{
+			Window:   2,
+			MaxBlock: maxBlock,
+		},
+	}
+	rt, err := charm.NewRuntime(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.Machine()
+	mgr := New(rt, tightCfg())
+	fc := m.FlowController()
+	pool := m.EnvelopePool()
+	if pool == nil {
+		t.Fatal("envelope pool disabled; this test needs pooled envelopes")
+	}
+
+	m.PE(1).SetInvokeDelay(2 * time.Millisecond) // slow victim: PE 0 parks on it
+	m.PE(2).SetInvokeDelay(time.Millisecond)     // slow sink: victim-owned envelopes linger
+
+	sink := m.RegisterHandler(func(pe *converse.PE, msg *converse.Message) {})
+	var victimSent atomic.Int64
+	// Runs on the victim's scheduler goroutine, so pe.NewMessage draws
+	// from the victim's single-consumer pool.
+	burstH := m.RegisterHandler(func(pe *converse.PE, msg *converse.Message) {
+		for i := 0; i < burst; i++ {
+			out := pe.NewMessage()
+			out.Handler = sink
+			out.Bytes = 8
+			// Sends racing (or following) the kill may fail; the envelope
+			// reference is consumed on every path, so no leak either way.
+			_ = pe.Send(2, out)
+			victimSent.Add(1)
+		}
+	})
+
+	var sent atomic.Int64
+	floodDone := make(chan struct{})
+	go func() {
+		// Kill only once the sender is parked AND victim-owned envelopes
+		// are in flight, so both teardown paths have live traffic to race.
+		for fc.BlockedSenders() == 0 || victimSent.Load() < 4 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		mgr.KillPE(1)
+		deadline := time.Now().Add(20 * time.Second)
+		for mgr.Stats().Confirmations == 0 {
+			if time.Now().After(deadline) {
+				t.Error("victim death never confirmed")
+				rt.Shutdown()
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		select {
+		case <-floodDone:
+		case <-time.After(20 * time.Second):
+			t.Errorf("parked sender never released: %d/%d sends completed", sent.Load(), flood)
+		}
+		rt.Shutdown()
+	}()
+
+	rt.Run(func(pe *converse.PE) {
+		if err := pe.Send(1, &converse.Message{Handler: burstH, Bytes: 8}); err != nil {
+			t.Errorf("burst trigger: %v", err)
+		}
+		for i := 0; i < flood; i++ {
+			_ = pe.Send(1, &converse.Message{Handler: sink, Bytes: 8, Payload: i})
+			sent.Add(1)
+		}
+		close(floodDone)
+	})
+
+	if got := sent.Load(); got != flood {
+		t.Fatalf("flood completed %d/%d sends", got, flood)
+	}
+	if fc.BlockedTotal() == 0 {
+		t.Fatal("sender never parked — the kill was not exercised under throttle")
+	}
+	if fc.BlockedSenders() != 0 {
+		t.Fatalf("%d senders still parked after the kill", fc.BlockedSenders())
+	}
+	stats := pool.Stats()
+	if stats.DeadDrops.Load() == 0 {
+		t.Errorf("no envelope free hit the dead-owner quarantine (victim sent %d)", victimSent.Load())
+	}
+	// A free racing DropOwner may legally park one envelope in the
+	// drained queue; anything more means the quarantine leaked.
+	if n := pool.Len(1); n > 1 {
+		t.Errorf("victim pool still holds %d envelopes after DropOwner", n)
+	}
+}

@@ -62,6 +62,17 @@ type Config struct {
 	// checkpoint when this much time has passed since the last committed
 	// epoch. Zero means checkpoints are purely application-driven.
 	CheckpointInterval time.Duration
+	// OnRecoveryStart is invoked (from the recovery goroutine) when a
+	// recovery pass begins, with the node ranks being recovered. Tests use
+	// it to land a second kill mid-recovery; applications can use it to
+	// pause external I/O. Must not block.
+	OnRecoveryStart func(dead []int)
+	// OnUnrecoverable is invoked (on its own goroutine) when a failure
+	// cannot be recovered: both copies of a protected element are gone, or
+	// nodes died before any epoch committed. The default logs the error
+	// and shuts the machine down — a clean report instead of a hang or a
+	// garbage restore. The manager stops recovering once this fires.
+	OnUnrecoverable func(err error)
 }
 
 func (c *Config) normalize() {
@@ -85,6 +96,8 @@ type Stats struct {
 	Checkpoints      int64 // committed epochs
 	CommittedEpoch   uint64
 	RestoredElements int64
+	CkptCRCFails     int64 // checkpoint blobs rejected by checksum
+	Unrecoverable    int64 // unrecoverable failures reported (0 or 1)
 }
 
 // Manager owns fault tolerance for one runtime: it detects failed nodes,
@@ -120,16 +133,29 @@ type Manager struct {
 	confirmed []atomic.Bool
 	dropped   []atomic.Bool // reliability channels to this peer abandoned
 
+	// recovery queue (recovery.go): the monitor confirms deaths and
+	// enqueues; the recovery goroutine drains, so detection keeps running
+	// while a recovery is in progress and cascading failures queue up
+	// instead of being missed.
+	recMu      sync.Mutex
+	recPending []int         // confirmed, not yet handed to a recovery pass
+	recKick    chan struct{} // capacity 1: coalesces enqueue signals
+	recovering atomic.Bool   // a recovery pass is in progress (fences Checkpoint)
+	unrecov    atomic.Bool
+	unrecovErr atomic.Value // error
+
 	stop    chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
 
-	heartbeats    atomic.Int64
-	suspicions    atomic.Int64
-	confirmations atomic.Int64
-	recoveries    atomic.Int64
-	checkpoints   atomic.Int64
-	restored      atomic.Int64
+	heartbeats     atomic.Int64
+	suspicions     atomic.Int64
+	confirmations  atomic.Int64
+	recoveries     atomic.Int64
+	checkpoints    atomic.Int64
+	restored       atomic.Int64
+	ckptCRCFails   atomic.Int64
+	unrecoverables atomic.Int64
 }
 
 // New attaches a fault-tolerance manager to a runtime. Call between
@@ -151,6 +177,7 @@ func New(rt *charm.Runtime, cfg Config) *Manager {
 		stores:    make([]*nodeStore, nodes),
 		confirmed: make([]atomic.Bool, nodes),
 		dropped:   make([]atomic.Bool, nodes),
+		recKick:   make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 	}
 	for r := range mgr.stores {
@@ -166,9 +193,10 @@ func New(rt *charm.Runtime, cfg Config) *Manager {
 	mgr.initDetector()
 	mgr.registerGroup()
 	mgr.lastCkptNS.Store(time.Now().UnixNano())
-	mgr.wg.Add(2)
+	mgr.wg.Add(3)
 	go mgr.heartbeatLoop()
 	go mgr.monitorLoop()
+	go mgr.recoveryLoop()
 	m.OnShutdown(mgr.Stop)
 	return mgr
 }
@@ -212,7 +240,23 @@ func (mgr *Manager) Stats() Stats {
 		Checkpoints:      mgr.checkpoints.Load(),
 		CommittedEpoch:   mgr.committed.Load(),
 		RestoredElements: mgr.restored.Load(),
+		CkptCRCFails:     mgr.ckptCRCFails.Load(),
+		Unrecoverable:    mgr.unrecoverables.Load(),
 	}
+}
+
+// Recovering reports whether a recovery pass currently owns the epoch.
+// External checkpoint drivers use it to tell a benign Checkpoint refusal
+// (recovery will checkpoint before resuming) from a real error.
+func (mgr *Manager) Recovering() bool { return mgr.recovering.Load() }
+
+// UnrecoverableErr returns the error reported through OnUnrecoverable, or
+// nil while the manager still considers the run recoverable.
+func (mgr *Manager) UnrecoverableErr() error {
+	if err, ok := mgr.unrecovErr.Load().(error); ok {
+		return err
+	}
+	return nil
 }
 
 // Stop halts the heartbeat sender and failure monitor and waits for them.

@@ -16,4 +16,8 @@ var (
 	obsRecovery     = obs.NewCounter("ft", "recoveries_total", 0)
 	obsRestored     = obs.NewCounter("ft", "elements_restored_total", 0)
 	obsRecoveryNS   = obs.NewHistogram("ft", "recovery_ns", 0)
+	// Sharded by the node holding the rotten copy.
+	obsCkptCRCFail = obs.NewCounter("ft", "checkpoint_crc_fail_total", 0)
+	// Unrecoverable failures are machine-wide; shard 0 by convention.
+	obsUnrecoverable = obs.NewCounter("ft", "unrecoverable_total", 0)
 )

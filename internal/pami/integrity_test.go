@@ -1,0 +1,140 @@
+package pami
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"blueq/internal/torus"
+	"blueq/internal/transport"
+)
+
+// Exactly-once, in-order delivery must survive wire corruption and
+// truncation: the CRC gate turns every damaged packet into a drop, which
+// the retransmission + dedup machinery already repairs.
+func TestExactlyOnceUnderCorruption(t *testing.T) {
+	old := RetryBase
+	RetryBase = time.Millisecond
+	defer func() { RetryBase = old }()
+
+	tr, err := transport.New("faulty:seed=23,corrupt=0.05,truncate=0.02,drop=0.02", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	c := NewClient(tr, 1)
+	if !c.CRCArmed() {
+		t.Fatal("client over corrupting transport should arm the CRC")
+	}
+
+	const msgs = 600
+	var mu sync.Mutex
+	var got []int
+	recv := c.Node(1).Context(0)
+	recv.RegisterDispatch(5, func(src int, data any, bytes int) {
+		mu.Lock()
+		got = append(got, data.(int))
+		mu.Unlock()
+	})
+	send := c.Node(0).Context(0)
+	send.RegisterDispatch(5, func(int, any, int) {})
+	for i := 0; i < msgs; i++ {
+		if err := send.SendImmediate(1, 0, 5, i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		recv.Advance()
+		send.Advance()
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == msgs {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d/%d messages before deadline", n, msgs)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("message %d delivered out of order (got %d)", i, v)
+		}
+	}
+	if c.CRCFails() == 0 {
+		t.Error("expected CRC verification failures under corrupt=0.05")
+	}
+	st := tr.Stats()
+	if st.Corrupted == 0 || st.Truncated == 0 {
+		t.Errorf("transport injected corrupt=%d truncate=%d, want both > 0", st.Corrupted, st.Truncated)
+	}
+}
+
+// With the CRC disarmed, corruption that only wraps payloads still repairs
+// via the unknown-kind drop; this test pins the knob itself: disarming
+// must be observable and must not stamp packets.
+func TestCRCEnabledKnob(t *testing.T) {
+	old := CRCEnabled
+	CRCEnabled = false
+	defer func() { CRCEnabled = old }()
+	tr, err := transport.New("faulty:seed=3,drop=0.01", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	c := NewClient(tr, 1)
+	if c.CRCArmed() {
+		t.Fatal("CRCEnabled=false must disarm the client checksum")
+	}
+}
+
+// packetSum must change when any covered field changes, and must not
+// allocate (it runs on every armed send and receive).
+func TestPacketSumCoverage(t *testing.T) {
+	base := torus.Packet{Dst: 1, Bytes: 64, FIFO: 0, Payload: relPacket{seq: 9, am: amPacket{dispatch: 4, data: []byte("abc"), bytes: 64}}}
+	sum0, ok := packetSum(&base)
+	if !ok {
+		t.Fatal("packetSum rejected a relPacket")
+	}
+	mutations := []torus.Packet{
+		{Dst: 2, Bytes: 64, Payload: base.Payload},
+		{Dst: 1, Bytes: 65, Payload: base.Payload},
+		{Dst: 1, Bytes: 64, FIFO: 1, Payload: base.Payload},
+		{Dst: 1, Bytes: 64, Payload: relPacket{seq: 10, am: amPacket{dispatch: 4, data: []byte("abc"), bytes: 64}}},
+		{Dst: 1, Bytes: 64, Payload: relPacket{seq: 9, am: amPacket{dispatch: 5, data: []byte("abc"), bytes: 64}}},
+		{Dst: 1, Bytes: 64, Payload: relPacket{seq: 9, am: amPacket{dispatch: 4, data: []byte("abd"), bytes: 64}}},
+		{Dst: 1, Bytes: 64, Payload: relAck{cum: 9}},
+	}
+	for i := range mutations {
+		sum, ok := packetSum(&mutations[i])
+		if !ok {
+			t.Fatalf("mutation %d rejected", i)
+		}
+		if sum == sum0 {
+			t.Errorf("mutation %d: checksum unchanged (%#x)", i, sum)
+		}
+	}
+	if _, ok := packetSum(&torus.Packet{Payload: transport.Garbled{}}); ok {
+		t.Error("garbled payload must fail packetSum")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, _ = packetSum(&base)
+	})
+	if allocs != 0 {
+		t.Errorf("packetSum allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkPacketCRC(b *testing.B) {
+	data := make([]byte, 128)
+	p := torus.Packet{Dst: 1, Bytes: 128, Payload: relPacket{seq: 1, am: amPacket{dispatch: 4, data: data, bytes: 128}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = packetSum(&p)
+	}
+}

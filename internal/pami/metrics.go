@@ -16,4 +16,8 @@ var (
 	// cap (repaired by sender retransmission). Not obs.On()-guarded — the
 	// refusal path is already the slow path.
 	mRelParked = obs.NewCounter("pami", "reorder_parked", 0)
+
+	// Wire integrity: packets whose CRC32C failed verification at dispatch
+	// (dropped for retransmission to repair).
+	mCRCFail = obs.NewCounter("pami", "crc_fail_total", 0)
 )

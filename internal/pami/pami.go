@@ -39,9 +39,11 @@ type DispatchFn func(src int, data any, bytes int)
 
 // Client is the per-application PAMI state spanning all simulated nodes.
 type Client struct {
-	tr    transport.Transport
-	nodes []*Node
-	fc    *flowctl.Controller // nil: flow control disabled
+	tr       transport.Transport
+	nodes    []*Node
+	fc       *flowctl.Controller // nil: flow control disabled
+	crc      bool                // wire CRC32C armed (unreliable transport + CRCEnabled)
+	crcFails atomic.Int64
 }
 
 // NewClient creates a client over the given transport, with ctxPerNode
@@ -70,7 +72,7 @@ func NewClientFlow(tr transport.Transport, ctxPerNode int, fc *flowctl.Controlle
 	if fc != nil && fc.Config().ReorderCap > 0 {
 		rcap = fc.Config().ReorderCap
 	}
-	c := &Client{tr: tr, nodes: make([]*Node, tr.Nodes()), fc: fc}
+	c := &Client{tr: tr, nodes: make([]*Node, tr.Nodes()), fc: fc, crc: !reliable && CRCEnabled}
 	for r := range c.nodes {
 		n := &Node{client: c, rank: r, ep: tr.Endpoint(r)}
 		if !reliable {
@@ -232,13 +234,15 @@ func (n *Node) inject(dstNode, fifo, bytes int, am amPacket) error {
 		// them a second time.
 		return n.rel.sendEager(dstNode, fifo, bytes, am, credited && !fc.Deferred(am.dispatch))
 	}
-	return n.ep.Inject(torus.Packet{
+	p := torus.Packet{
 		Type:    torus.MemoryFIFO,
 		Dst:     dstNode,
 		Bytes:   bytes,
 		FIFO:    fifo,
 		Payload: am,
-	})
+	}
+	n.stamp(&p)
+	return n.ep.Inject(p)
 }
 
 // SendImmediate sends a short active message. The payload must not exceed
@@ -328,6 +332,13 @@ func (ctx *Context) advanceLocked() int {
 				break
 			}
 			n++
+			// Integrity gate: a packet whose CRC32C does not match its wire
+			// image (or whose payload was garbled beyond parsing) is dropped
+			// here, before any dispatch — unacknowledged, so the sender's
+			// retransmission repairs it.
+			if !ctx.node.verify(&p) {
+				continue
+			}
 			switch pl := p.Payload.(type) {
 			case amPacket:
 				if fn := ctx.dispatch[pl.dispatch]; fn != nil {
@@ -353,8 +364,9 @@ func (ctx *Context) advanceLocked() int {
 			case relAck:
 				ctx.node.rel.onAck(p.Src, pl.cum)
 			default:
-				// Unknown packet kinds are dropped, as hardware would raise
-				// a protocol error; tests never exercise this.
+				// Unknown packet kinds (including payloads the faulty
+				// transport garbled, with the CRC disarmed) are dropped, as
+				// hardware would raise a protocol error.
 			}
 		}
 	}

@@ -148,6 +148,9 @@ func (r *reliator) sendEager(dstNode, fifo, bytes int, am amPacket, credited boo
 		FIFO:    fifo,
 		Payload: relPacket{seq: st.nextSeq, am: am},
 	}
+	// Stamp before recording: retransmissions reuse the stored packet, so
+	// they carry the identical checksum.
+	r.node.stamp(&p)
 	st.unacked[st.nextSeq] = p
 	r.armLocked(st, dstNode)
 	r.mu.Unlock()
@@ -282,13 +285,15 @@ func (r *reliator) sendAck(src int) {
 	if obs.On() {
 		mRelAckSent.Inc(r.node.rank)
 	}
-	_ = r.node.ep.Inject(torus.Packet{
+	p := torus.Packet{
 		Type:    torus.MemoryFIFO,
 		Dst:     src,
 		Bytes:   ackBytes,
 		FIFO:    0,
 		Payload: relAck{cum: cum},
-	})
+	}
+	r.node.stamp(&p)
+	_ = r.node.ep.Inject(p)
 }
 
 // ackBytes is the modelled wire size of a reliability acknowledgement.

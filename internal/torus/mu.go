@@ -28,9 +28,10 @@ const (
 // recording its true size for the timing model).
 type Packet struct {
 	Type     PacketType
-	Src, Dst int // node ranks
-	Bytes    int // payload size for timing purposes
-	FIFO     int // destination reception FIFO index
+	Src, Dst int    // node ranks
+	Bytes    int    // payload size for timing purposes
+	FIFO     int    // destination reception FIFO index
+	Sum      uint32 // CRC32C over the wire image, stamped by the PAMI layer (0 = unarmed)
 	Payload  any
 }
 

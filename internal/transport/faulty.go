@@ -28,6 +28,21 @@ type FaultConfig struct {
 	DelayRate float64
 	// DelayMax bounds injected delays; 0 selects 200µs.
 	DelayMax time.Duration
+	// CorruptRate is the probability a packet's wire image is corrupted in
+	// flight: a seeded bit flip in a header field (size, FIFO, destination,
+	// checksum) or a garbled payload. Without the PAMI CRC armed, corrupt
+	// packets deliver wrong bytes silently — exactly the failure mode the
+	// checksum exists to catch.
+	CorruptRate float64
+	// TruncateRate is the probability a packet arrives short: its modelled
+	// size shrinks and the payload is unusable (a partial read off the
+	// wire).
+	TruncateRate float64
+	// ForceUnreliable makes Reliable() report false even with every fault
+	// rate at zero, arming the full reliability + checksum stack above a
+	// perfect network. Benchmarks use it to measure protocol overhead
+	// deterministically.
+	ForceUnreliable bool
 	// Kills schedules fail-stop events: each event silences a node rank a
 	// fixed duration after the transport is built. Kills are orthogonal to
 	// the packet-level rates and do not flip Reliable() — a dead node is a
@@ -59,6 +74,8 @@ type Faulty struct {
 	dropped    atomic.Int64
 	duplicated atomic.Int64
 	delayed    atomic.Int64
+	corrupted  atomic.Int64
+	truncated  atomic.Int64
 
 	killed      []atomic.Bool
 	killHook    atomic.Value // func(rank int)
@@ -140,9 +157,12 @@ func (t *Faulty) Torus() *torus.Torus { return t.inner.Torus() }
 func (t *Faulty) Endpoint(rank int) Endpoint { return t.eps[rank] }
 
 // Reliable reports false whenever faults are configured: packets may be
-// lost, duplicated, or reordered, and the layers above must cope.
+// lost, duplicated, reordered, or corrupted, and the layers above must
+// cope.
 func (t *Faulty) Reliable() bool {
-	return t.cfg.DropRate == 0 && t.cfg.DupRate == 0 && t.cfg.DelayRate == 0 && t.inner.Reliable()
+	return !t.cfg.ForceUnreliable &&
+		t.cfg.DropRate == 0 && t.cfg.DupRate == 0 && t.cfg.DelayRate == 0 &&
+		t.cfg.CorruptRate == 0 && t.cfg.TruncateRate == 0 && t.inner.Reliable()
 }
 
 // Pending reports whether delayed packets remain in flight.
@@ -158,6 +178,8 @@ func (t *Faulty) Stats() Stats {
 	s.Dropped += t.dropped.Load()
 	s.Duplicated += t.duplicated.Load()
 	s.Delayed += t.delayed.Load()
+	s.Corrupted = t.corrupted.Load()
+	s.Truncated = t.truncated.Load()
 	s.KilledNodes = t.killedNodes.Load()
 	s.KilledDrops = t.killedDrops.Load()
 	return s
@@ -174,8 +196,20 @@ func (t *Faulty) Close() {
 }
 
 func (t *Faulty) String() string {
-	return fmt.Sprintf("faulty(%s, seed=%d, drop=%g, dup=%g, delay=%g/%s)",
-		t.inner, t.cfg.Seed, t.cfg.DropRate, t.cfg.DupRate, t.cfg.DelayRate, t.cfg.DelayMax)
+	return fmt.Sprintf("faulty(%s, seed=%d, drop=%g, dup=%g, delay=%g/%s, corrupt=%g, truncate=%g)",
+		t.inner, t.cfg.Seed, t.cfg.DropRate, t.cfg.DupRate, t.cfg.DelayRate, t.cfg.DelayMax,
+		t.cfg.CorruptRate, t.cfg.TruncateRate)
+}
+
+// Garbled marks a payload whose bits were damaged in flight (corruption)
+// or never fully arrived (truncation). The model cannot flip bits inside
+// an arbitrary in-process payload reference, so damage is represented by
+// wrapping it: any consumer that type-switches on the payload sees an
+// unknown kind, exactly as a real receiver would fail to parse a damaged
+// wire image. Orig is retained for debugging only.
+type Garbled struct {
+	Orig      any
+	Truncated bool
 }
 
 // faultyEndpoint intercepts Inject to roll the fault dice; the reception
@@ -230,8 +264,30 @@ func (e *faultyEndpoint) Inject(p torus.Packet) error {
 	if dup {
 		dupDelay = time.Duration(1 + t.rng.Int63n(int64(t.cfg.DelayMax)))
 	}
+	// Corruption damages the delivered copy only: a duplicate is a second
+	// wire image and travels undamaged, like independent physical packets.
+	corrupted, truncated := false, false
+	if !drop && t.cfg.CorruptRate > 0 && t.rng.Float64() < t.cfg.CorruptRate {
+		p = t.corruptLocked(p)
+		corrupted = true
+	} else if !drop && t.cfg.TruncateRate > 0 && t.rng.Float64() < t.cfg.TruncateRate {
+		p = t.truncateLocked(p)
+		truncated = true
+	}
 	t.mu.Unlock()
 
+	if corrupted {
+		t.corrupted.Add(1)
+		if obs.On() {
+			obsFaultCorrupt.Inc(src)
+		}
+	}
+	if truncated {
+		t.truncated.Add(1)
+		if obs.On() {
+			obsFaultTruncate.Inc(src)
+		}
+	}
 	if drop {
 		t.dropped.Add(1)
 		if obs.On() {
@@ -254,4 +310,36 @@ func (e *faultyEndpoint) Inject(p torus.Packet) error {
 		t.dl.schedule(time.Now().Add(dupDelay), src, p)
 	}
 	return nil
+}
+
+// corruptLocked flips seeded bits in the packet's wire image: a header
+// field (modelled size, checksum, destination) or the payload itself.
+// Every mutation is detectable by a CRC over header+payload; without one,
+// a flipped destination silently misroutes and a flipped size silently
+// lies — the motivating failure modes for the PAMI checksum. Caller holds
+// t.mu (for the rng).
+func (t *Faulty) corruptLocked(p torus.Packet) torus.Packet {
+	switch t.rng.Intn(4) {
+	case 0:
+		p.Bytes ^= 1 << uint(t.rng.Intn(16))
+	case 1:
+		p.Sum ^= 1 << uint(t.rng.Intn(32))
+	case 2:
+		if n := t.Nodes(); n > 1 {
+			p.Dst = (p.Dst + 1 + t.rng.Intn(n-1)) % n
+		}
+	default:
+		p.Payload = Garbled{Orig: p.Payload}
+	}
+	return p
+}
+
+// truncateLocked models a short read: the packet arrives with fewer bytes
+// than were sent and an unparseable partial payload. Caller holds t.mu.
+func (t *Faulty) truncateLocked(p torus.Packet) torus.Packet {
+	if p.Bytes > 0 {
+		p.Bytes = t.rng.Intn(p.Bytes)
+	}
+	p.Payload = Garbled{Orig: p.Payload, Truncated: true}
+	return p
 }

@@ -10,6 +10,8 @@ var (
 	obsFaultDrop         = obs.NewCounter("transport", "faulty_drop_total", 0)
 	obsFaultDup          = obs.NewCounter("transport", "faulty_dup_total", 0)
 	obsFaultDelay        = obs.NewCounter("transport", "faulty_delay_total", 0)
+	obsFaultCorrupt      = obs.NewCounter("transport", "faulty_corrupt_total", 0)
+	obsFaultTruncate     = obs.NewCounter("transport", "faulty_truncate_total", 0)
 	obsContentionStalled = obs.NewCounter("transport", "contention_stalled_total", 0)
 	obsContentionStallNS = obs.NewCounter("transport", "contention_stall_ns_total", 0)
 	obsKillNode          = obs.NewCounter("transport", "faulty_killed_nodes_total", 0)

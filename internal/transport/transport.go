@@ -90,6 +90,11 @@ type Stats struct {
 	Duplicated int64
 	// Delayed counts packets given extra injected latency.
 	Delayed int64
+	// Corrupted counts packets whose wire image the faulty backend damaged
+	// (bit flips in header fields or a garbled payload).
+	Corrupted int64
+	// Truncated counts packets delivered short (partial reads).
+	Truncated int64
 	// StallNS is the cumulative wall-clock time packets spent queued
 	// behind other packets on contended links.
 	StallNS int64
@@ -136,14 +141,17 @@ type Transport interface {
 //
 //	inproc
 //	contended[:scale=F]
-//	faulty[:seed=N,drop=F,dup=F,delayrate=F,delaymax=DUR,scale=F,kill=R@DUR]
+//	faulty[:seed=N,drop=F,dup=F,delayrate=F,delaymax=DUR,corrupt=F,truncate=F,unreliable=B,scale=F,kill=R@DUR]
 //
 // Rates are probabilities in [0,1]; delaymax takes time.ParseDuration
 // syntax; scale multiplies the contended backend's modelled link delays
 // into wall-clock delays (faulty accepts it to wrap contended underneath).
-// kill=R@DUR fail-stops node rank R DUR after the transport is built;
-// multiple kills join with '+' (kill=2@300ms+3@1s) since option keys are
-// unique. An empty spec selects inproc.
+// corrupt and truncate damage delivered packets (bit flips and short
+// reads, caught by the PAMI CRC); unreliable=1 arms the reliability +
+// checksum stack with every fault rate at zero (protocol-overhead
+// benchmarks). kill=R@DUR fail-stops node rank R DUR after the transport
+// is built; multiple kills join with '+' (kill=2@300ms+3@1s) since option
+// keys are unique. An empty spec selects inproc.
 func New(spec string, nodes, fifosPerNode int) (Transport, error) {
 	name := spec
 	var opts string
@@ -198,6 +206,18 @@ func New(spec string, nodes, fifosPerNode int) (Transport, error) {
 			case "delaymax":
 				if cfg.DelayMax, err = time.ParseDuration(v); err != nil {
 					return nil, fmt.Errorf("transport %q: delaymax: %w", spec, err)
+				}
+			case "corrupt":
+				if cfg.CorruptRate, err = strconv.ParseFloat(v, 64); err != nil {
+					return nil, fmt.Errorf("transport %q: corrupt: %w", spec, err)
+				}
+			case "truncate":
+				if cfg.TruncateRate, err = strconv.ParseFloat(v, 64); err != nil {
+					return nil, fmt.Errorf("transport %q: truncate: %w", spec, err)
+				}
+			case "unreliable":
+				if cfg.ForceUnreliable, err = strconv.ParseBool(v); err != nil {
+					return nil, fmt.Errorf("transport %q: unreliable: %w", spec, err)
 				}
 			case "scale":
 				if scale, err = strconv.ParseFloat(v, 64); err != nil {

@@ -46,9 +46,10 @@ func TestFactoryParsing(t *testing.T) {
 		{"inproc", "inproc"},
 		{"contended", "contended(inproc, scale=1)"},
 		{"contended:scale=2.5", "contended(inproc, scale=2.5)"},
-		{"faulty", "faulty(inproc, seed=1, drop=0, dup=0, delay=0/200µs)"},
-		{"faulty:seed=7,drop=0.05,dup=0.02", "faulty(inproc, seed=7, drop=0.05, dup=0.02, delay=0/200µs)"},
-		{"faulty:scale=2", "faulty(contended(inproc, scale=2), seed=1, drop=0, dup=0, delay=0/200µs)"},
+		{"faulty", "faulty(inproc, seed=1, drop=0, dup=0, delay=0/200µs, corrupt=0, truncate=0)"},
+		{"faulty:seed=7,drop=0.05,dup=0.02", "faulty(inproc, seed=7, drop=0.05, dup=0.02, delay=0/200µs, corrupt=0, truncate=0)"},
+		{"faulty:scale=2", "faulty(contended(inproc, scale=2), seed=1, drop=0, dup=0, delay=0/200µs, corrupt=0, truncate=0)"},
+		{"faulty:corrupt=0.02,truncate=0.01", "faulty(inproc, seed=1, drop=0, dup=0, delay=0/200µs, corrupt=0.02, truncate=0.01)"},
 	}
 	for _, tc := range good {
 		tr, err := New(tc.spec, 2, 1)
@@ -66,7 +67,8 @@ func TestFactoryParsing(t *testing.T) {
 	bad := []string{
 		"warp", "inproc:x=1", "contended:speed=3", "contended:scale=abc",
 		"faulty:drop=lots", "faulty:seed=1.5", "faulty:delaymax=fast",
-		"faulty:unknown=1", "contended:scale",
+		"faulty:unknown=1", "contended:scale", "faulty:corrupt=high",
+		"faulty:truncate=", "faulty:unreliable=maybe",
 	}
 	for _, spec := range bad {
 		if tr, err := New(spec, 2, 1); err == nil {
