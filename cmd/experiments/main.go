@@ -75,8 +75,11 @@ func main() {
 		case "integrity":
 			section("E17: wire+checkpoint integrity and cascading-failure recovery (internal/pami, internal/ft)")
 			integritySection(*seed)
+		case "linkft":
+			section("E18: link failures — fail-aware routing, gray links, partitions (internal/torus, internal/ft)")
+			linkftSection(*seed)
 		default:
-			log.Fatalf("unknown -only section %q (want ft, agg, integrity)", *only)
+			log.Fatalf("unknown -only section %q (want ft, agg, integrity, linkft)", *only)
 		}
 		return
 	}
@@ -164,6 +167,9 @@ func main() {
 
 	section("E17: wire+checkpoint integrity and cascading-failure recovery (internal/pami, internal/ft)")
 	integritySection(*seed)
+
+	section("E18: link failures — fail-aware routing, gray links, partitions (internal/torus, internal/ft)")
+	linkftSection(*seed)
 }
 
 // nativeObservability enables the obs instrumentation, drives the native

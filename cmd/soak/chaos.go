@@ -60,8 +60,10 @@ func parseKills(s string) (*killSchedule, error) {
 var chaosKillPEs = [2]int{1, 3}
 
 // chaosFFT runs the 16³ FFT for a fixed iteration count under the FT
-// manager and the given kill schedule, returning the final grids.
-func chaosFFT(spec string, iters int, ks *killSchedule) (grids [][]complex128, stats ft.Stats, err error) {
+// manager and the given kill schedule, returning the final grids. mid, when
+// non-nil, fires once right after iteration 3 launches — the link-flap cell
+// injects its wire chaos through it.
+func chaosFFT(spec string, iters int, ks *killSchedule, mid func(m *converse.Machine)) (grids [][]complex128, stats ft.Stats, err error) {
 	const nodes = 4
 	conv := converse.Config{Nodes: nodes, WorkersPerNode: 1, Mode: converse.ModeSMP}
 	tr, err := transport.New(spec, nodes, 1)
@@ -138,7 +140,7 @@ func chaosFFT(spec string, iters int, ks *killSchedule) (grids [][]complex128, s
 		runErr.Store(e)
 		rt.Shutdown()
 	}
-	var killOnce sync.Once
+	var killOnce, midOnce sync.Once
 	eng.SetOnComplete(func(pe *converse.PE, iter int) {
 		if iter >= iters {
 			rt.Shutdown()
@@ -149,11 +151,16 @@ func chaosFFT(spec string, iters int, ks *killSchedule) (grids [][]complex128, s
 				fail(fmt.Errorf("start iter %d: %v", iter+1, e))
 				return
 			}
-			if ks != nil && iter == 2 {
-				killOnce.Do(func() {
-					killed.Add(1)
-					mgr.KillPE(chaosKillPEs[0])
-				})
+			if iter == 2 {
+				if ks != nil {
+					killOnce.Do(func() {
+						killed.Add(1)
+						mgr.KillPE(chaosKillPEs[0])
+					})
+				}
+				if mid != nil {
+					midOnce.Do(func() { mid(rt.Machine()) })
+				}
 			}
 		})
 		// A refusal because recovery owns the epoch is benign: the restart
@@ -196,14 +203,14 @@ func chaosFFT(spec string, iters int, ks *killSchedule) (grids [][]complex128, s
 func runFFTChaosCell(spec string, ks *killSchedule) error {
 	const iters = 6
 	start := time.Now()
-	ref, refStats, err := chaosFFT(spec, iters, nil)
+	ref, refStats, err := chaosFFT(spec, iters, nil, nil)
 	if err != nil {
 		return fmt.Errorf("reference run: %w", err)
 	}
 	if refStats.Recoveries != 0 || refStats.Confirmations != 0 {
 		return fmt.Errorf("reference run saw failures: %+v", refStats)
 	}
-	got, stats, err := chaosFFT(spec, iters, ks)
+	got, stats, err := chaosFFT(spec, iters, ks, nil)
 	if err != nil {
 		return fmt.Errorf("chaos run: %w", err)
 	}
@@ -221,7 +228,7 @@ func runFFTChaosCell(spec string, ks *killSchedule) error {
 			}
 		}
 	}
-	fmt.Printf("chaos over %-45s %d kills (spread %v): %d recoveries, %d confirmations, %d ckpt-crc rejects, bitwise identical in %5.1fs\n",
+	fmt.Fprintf(out, "chaos over %-45s %d kills (spread %v): %d recoveries, %d confirmations, %d ckpt-crc rejects, bitwise identical in %5.1fs\n",
 		spec+":", ks.n, ks.spread, stats.Recoveries, stats.Confirmations, stats.CkptCRCFails,
 		time.Since(start).Seconds())
 	return nil

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"blueq/internal/converse"
+	"blueq/internal/torus"
+)
+
+// The link-flap schedule behind -links: the FFT cell becomes a wire-chaos
+// run. Starting right after iteration 3 launches, physical links are
+// fail-stopped one at a time, held down for the hold duration, then healed
+// before the next flap — the router must absorb every flap by rerouting
+// (the 4-node cell's links form a cycle, so one dead wire never partitions
+// it). The run must finish with zero rollbacks, the router must actually
+// have rerouted, and the grids must match a flap-free reference bitwise.
+
+// linkSchedule is the parsed -links=N@DUR flag: n flaps, each holding the
+// link down for the spread duration.
+type linkSchedule struct {
+	n    int
+	hold time.Duration
+}
+
+// parseLinkFlaps parses "N@DUR", e.g. "4@50ms".
+func parseLinkFlaps(s string) (*linkSchedule, error) {
+	at := strings.IndexByte(s, '@')
+	if at < 0 {
+		return nil, fmt.Errorf("-links=%q: want N@DUR, e.g. 4@50ms", s)
+	}
+	n, err := strconv.Atoi(s[:at])
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("-links=%q: bad flap count", s)
+	}
+	hold, err := time.ParseDuration(s[at+1:])
+	if err != nil {
+		return nil, fmt.Errorf("-links=%q: bad hold duration: %v", s, err)
+	}
+	return &linkSchedule{n: n, hold: hold}, nil
+}
+
+// flapLinks are the 4-node cell's physical links in flap order — one at a
+// time, every flap leaves the cycle 0-1-3-2-0 connected minus one edge.
+var flapLinks = [][2]int{{0, 1}, {1, 3}, {2, 3}, {0, 2}}
+
+// runFFTLinkCell is the -links FFT cell: a flap-free reference run and a
+// link-flap run over the same transport spec must produce bitwise-identical
+// grids with zero recoveries, and the router must have rerouted.
+func runFFTLinkCell(spec string, ls *linkSchedule) error {
+	const iters = 6
+	start := time.Now()
+	ref, refStats, err := chaosFFT(spec, iters, nil, nil)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+	if refStats.Recoveries != 0 || refStats.Confirmations != 0 {
+		return fmt.Errorf("reference run saw failures: %+v", refStats)
+	}
+
+	var tor *torus.Torus
+	flapsDone := make(chan int, 1)
+	got, stats, err := chaosFFT(spec, iters, nil, func(m *converse.Machine) {
+		tor = m.Torus()
+		go func() {
+			flaps := 0
+			for k := 0; k < ls.n; k++ {
+				l := flapLinks[k%len(flapLinks)]
+				if e := m.FailLink(l[0], l[1]); e != nil {
+					break
+				}
+				flaps++
+				time.Sleep(ls.hold)
+				if e := m.HealLink(l[0], l[1]); e != nil {
+					break
+				}
+			}
+			flapsDone <- flaps
+		}()
+	})
+	if err != nil {
+		return fmt.Errorf("link-flap run: %w", err)
+	}
+	if stats.Recoveries != 0 || stats.Confirmations != 0 {
+		return fmt.Errorf("link flaps caused a rollback, want pure rerouting: %+v", stats)
+	}
+	if tor == nil || tor.Reroutes() == 0 {
+		return fmt.Errorf("link flaps ran but the router never rerouted")
+	}
+	flapped := 0
+	select {
+	case flapped = <-flapsDone:
+	case <-time.After(time.Duration(ls.n)*2*ls.hold + 10*time.Second):
+		return fmt.Errorf("flap schedule never finished")
+	}
+	if flapped == 0 {
+		return fmt.Errorf("no link was ever flapped")
+	}
+	for pe := range ref {
+		if len(got[pe]) != len(ref[pe]) {
+			return fmt.Errorf("PE %d grid length %d vs reference %d", pe, len(got[pe]), len(ref[pe]))
+		}
+		for i := range ref[pe] {
+			if got[pe][i] != ref[pe][i] {
+				return fmt.Errorf("PE %d grid[%d] = %v, reference %v: not bitwise identical",
+					pe, i, got[pe][i], ref[pe][i])
+			}
+		}
+	}
+	fmt.Fprintf(out, "links over %-45s %d flaps (hold %v): %d reroutes (%d detours), %d link suspects, 0 rollbacks, bitwise identical in %5.1fs\n",
+		spec+":", flapped, ls.hold, tor.Reroutes(), tor.Detours(), stats.LinkSuspects,
+		time.Since(start).Seconds())
+	return nil
+}

@@ -22,8 +22,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sync"
@@ -40,6 +42,27 @@ import (
 	"blueq/internal/mdsim"
 	"blueq/internal/transport"
 )
+
+// out carries the human-readable cell lines; -json moves them to stderr so
+// stdout stays a single parseable JSON document.
+var out io.Writer = os.Stdout
+
+// cellReport is one workload×transport cell in the -json summary.
+type cellReport struct {
+	Workload  string  `json:"workload"`
+	Transport string  `json:"transport"`
+	Seconds   float64 `json:"seconds"`
+	OK        bool    `json:"ok"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// soakSummary is the -json document: every cell's verdict plus the overall
+// one. Exit status is non-zero whenever ok is false.
+type soakSummary struct {
+	Cells    []cellReport `json:"cells"`
+	Failures int          `json:"failures"`
+	OK       bool         `json:"ok"`
+}
 
 func main() {
 	duration := flag.Duration("duration", 20*time.Second, "total wall-clock budget, split across workload×transport cells")
@@ -58,13 +81,30 @@ func main() {
 	sweep := flag.Bool("sweep", false, "run the offered-load saturation sweep instead of the soak")
 	corrupt := flag.Float64("corrupt", 0, "packet corruption rate armed on faulty transports (truncation at half the rate)")
 	kills := flag.String("kills", "", "N@DUR chaos schedule for the fft cell: N fail-stops spread DUR apart, asserting bitwise-identical output (e.g. 2@100ms)")
+	links := flag.String("links", "", "N@DUR link-flap schedule for the fft cell: N links failed then healed DUR apart, asserting rerouting with zero rollbacks (e.g. 4@50ms)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary on stdout (cell logs move to stderr); exit status stays non-zero on any invariant failure")
 	flag.Parse()
 
+	if *jsonOut {
+		out = os.Stderr
+	}
 	var ks *killSchedule
 	if *kills != "" {
 		var err error
 		if ks, err = parseKills(*kills); err != nil {
 			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var ls *linkSchedule
+	if *links != "" {
+		var err error
+		if ls, err = parseLinkFlaps(*links); err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			os.Exit(2)
+		}
+		if ks != nil {
+			fmt.Fprintln(os.Stderr, "soak: -kills and -links both reshape the fft cell; pick one")
 			os.Exit(2)
 		}
 	}
@@ -113,32 +153,54 @@ func main() {
 	if cell < time.Second {
 		cell = time.Second
 	}
-	failures := 0
+	summary := soakSummary{OK: true}
 	for _, sp := range specs {
 		for _, w := range workloads {
 			var err error
+			name := w
+			begin := time.Now()
 			switch w {
 			case "flood":
 				err = runFlood(sp, cell, *slow, fcc, agc)
 			case "fft":
-				if ks != nil {
+				switch {
+				case ks != nil:
+					name = "fft-kills"
 					err = runFFTChaosCell(sp, ks)
-				} else {
+				case ls != nil:
+					name = "fft-links"
+					err = runFFTLinkCell(sp, ls)
+				default:
 					err = runFFTSoak(sp, cell, *slow, fcc, agc)
 				}
 			case "md":
 				err = runMDSoak(sp, cell, *slow, fcc, agc)
 			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "FAIL %-5s over %s: %v\n", w, sp, err)
-				failures++
+			rep := cellReport{
+				Workload: name, Transport: sp,
+				Seconds: time.Since(begin).Seconds(), OK: err == nil,
 			}
+			if err != nil {
+				rep.Error = err.Error()
+				summary.Failures++
+				summary.OK = false
+				fmt.Fprintf(os.Stderr, "FAIL %-5s over %s: %v\n", w, sp, err)
+			}
+			summary.Cells = append(summary.Cells, rep)
 		}
 	}
-	if failures > 0 {
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			fmt.Fprintf(os.Stderr, "soak: encoding summary: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if summary.Failures > 0 {
 		os.Exit(1)
 	}
-	fmt.Println("soak: all properties held")
+	fmt.Fprintln(out, "soak: all properties held")
 }
 
 // residencySampler polls the machine-wide scheduler backlog and the
@@ -268,7 +330,7 @@ func runFlood(spec string, d, slow time.Duration, fcc flowctl.Config, agc *aggre
 
 	fc := m.FlowController()
 	bound := floodBound(ringSize, fc.Config())
-	fmt.Printf("flood over %-45s %8d msgs in %5.1fs (%6.0f/s), peak resident %d/bound %d, reorder %d/cap %d, parked %d\n",
+	fmt.Fprintf(out, "flood over %-45s %8d msgs in %5.1fs (%6.0f/s), peak resident %d/bound %d, reorder %d/cap %d, parked %d\n",
 		spec+":", sent.Load(), elapsed.Seconds(), float64(delivered.Load())/elapsed.Seconds(),
 		peakResident, bound, peakReorder, fc.Config().ReorderCap, fc.BlockedTotal())
 
@@ -350,7 +412,7 @@ func runFFTSoak(spec string, d, slow time.Duration, fcc flowctl.Config, agc *agg
 	// flow-control caps bound each PE's share of it.
 	fc := m.FlowController()
 	bound := int64(m.NumPEs()) * floodBound(lockless.DefaultRingSize, fc.Config())
-	fmt.Printf("fft   over %-45s %8d iterations in %5.1fs, peak resident %d/bound %d, reorder %d/cap %d, parked %d\n",
+	fmt.Fprintf(out, "fft   over %-45s %8d iterations in %5.1fs, peak resident %d/bound %d, reorder %d/cap %d, parked %d\n",
 		spec+":", iters.Load(), elapsed.Seconds(), peakResident, bound, peakReorder,
 		fc.Config().ReorderCap, fc.BlockedTotal())
 
@@ -412,7 +474,7 @@ func runMDSoak(spec string, d, slow time.Duration, fcc flowctl.Config, agc *aggr
 		sims++
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("md    over %-45s %8d runs in %5.1fs, peak resident %d, reorder peak %d\n",
+	fmt.Fprintf(out, "md    over %-45s %8d runs in %5.1fs, peak resident %d, reorder peak %d\n",
 		spec+":", sims, elapsed.Seconds(), peakResident, peakReorder)
 	if sims < 1 {
 		return fmt.Errorf("no forward progress: zero MD runs completed")
@@ -440,9 +502,9 @@ func runSweep(spec string, slow time.Duration, fcc flowctl.Config, agc *aggregat
 	if cell < time.Second {
 		cell = time.Second
 	}
-	fmt.Printf("saturation sweep over %s: consumer capacity ≈ %.0f msg/s (nominal delay %v), window %d, overflow cap %d\n",
+	fmt.Fprintf(out, "saturation sweep over %s: consumer capacity ≈ %.0f msg/s (nominal delay %v), window %d, overflow cap %d\n",
 		spec, capacity, slow, fcc.Window, fcc.OverflowCap)
-	fmt.Printf("%14s %14s %14s %14s %10s\n", "offered msg/s", "achieved msg/s", "utilization", "peak resident", "parked")
+	fmt.Fprintf(out, "%14s %14s %14s %14s %10s\n", "offered msg/s", "achieved msg/s", "utilization", "peak resident", "parked")
 	for _, mult := range multipliers {
 		offered := capacity * mult
 		achieved, peak, parked, err := sweepCell(spec, cell, slow, offered, fcc, agc)
@@ -450,7 +512,7 @@ func runSweep(spec string, slow time.Duration, fcc flowctl.Config, agc *aggregat
 			fmt.Fprintf(os.Stderr, "sweep cell %.0f/s: %v\n", offered, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%14.0f %14.0f %13.0f%% %14d %10d\n",
+		fmt.Fprintf(out, "%14.0f %14.0f %13.0f%% %14d %10d\n",
 			offered, achieved, 100*achieved/offered, peak, parked)
 	}
 }

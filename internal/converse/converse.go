@@ -525,6 +525,27 @@ func (m *Machine) KillNode(rank int) {
 	m.HaltNode(rank) // direct halt when the transport has no kill support
 }
 
+// FailLink takes the physical torus link a-b out of service, machine-wide:
+// routes recompute around it (detouring when no minimal route survives),
+// the contended backend re-books serialization on the new paths, and a
+// (src,dst) pair the down links partition loses its packets on the wire.
+// This is the programmatic hook behind the faulty transport's
+// link=A-B@DUR spec events; chaos harnesses call it directly.
+func (m *Machine) FailLink(a, b int) error {
+	if lf, ok := m.tr.(transport.LinkFaulter); ok {
+		return lf.FailLink(a, b)
+	}
+	return m.tor.FailLink(a, b)
+}
+
+// HealLink returns the physical torus link a-b to service.
+func (m *Machine) HealLink(a, b int) error {
+	if lf, ok := m.tr.(transport.LinkFaulter); ok {
+		return lf.HealLink(a, b)
+	}
+	return m.tor.HealLink(a, b)
+}
+
 // NodeDead reports whether the node has been halted or killed.
 func (m *Machine) NodeDead(rank int) bool { return m.nodes[rank].dead.Load() }
 

@@ -221,7 +221,15 @@ func (mgr *Manager) evaluate() []int {
 			}
 		}
 		if observers > 0 && 2*votes > observers {
-			confirmedNow = append(confirmedNow, target)
+			// The vote says dead; the probe layer decides whether the
+			// silence is the node or the path. Fail-stopped targets clear
+			// instantly (no added latency for kill injection); anything
+			// else confirms only after probing concludes it is gone, and a
+			// probe ack instead clears the suspicion columns via the
+			// heartbeat grace reset (probe.go).
+			if mgr.probeClears(target) {
+				confirmedNow = append(confirmedNow, target)
+			}
 		}
 	}
 	for _, target := range confirmedNow {

@@ -62,6 +62,14 @@ type Config struct {
 	// checkpoint when this much time has passed since the last committed
 	// epoch. Zero means checkpoints are purely application-driven.
 	CheckpointInterval time.Duration
+	// ProbeRounds is how many path-diverse probe rounds a majority-
+	// suspected (but not fail-stopped) target gets before its death is
+	// confirmed; rounds past the first bump the adaptive path salts so the
+	// pings travel different routes (probe.go). Default 2.
+	ProbeRounds int
+	// ProbeTimeout is how long one probe round waits for an echo.
+	// Default 4 × HeartbeatInterval.
+	ProbeTimeout time.Duration
 	// OnRecoveryStart is invoked (from the recovery goroutine) when a
 	// recovery pass begins, with the node ranks being recovered. Tests use
 	// it to land a second kill mid-recovery; applications can use it to
@@ -85,6 +93,12 @@ func (c *Config) normalize() {
 	if c.PhiFactor <= 0 {
 		c.PhiFactor = 12
 	}
+	if c.ProbeRounds <= 0 {
+		c.ProbeRounds = 2
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 4 * c.HeartbeatInterval
+	}
 }
 
 // Stats is a snapshot of the subsystem's counters.
@@ -98,6 +112,9 @@ type Stats struct {
 	RestoredElements int64
 	CkptCRCFails     int64 // checkpoint blobs rejected by checksum
 	Unrecoverable    int64 // unrecoverable failures reported (0 or 1)
+	LinkSuspects     int64 // suspicions attributed to a path, not the peer
+	Partitions       int64 // targets confirmed dead by unreachability
+	ProbesSent       int64 // disambiguation pings sent
 }
 
 // Manager owns fault tolerance for one runtime: it detects failed nodes,
@@ -133,6 +150,14 @@ type Manager struct {
 	confirmed []atomic.Bool
 	dropped   []atomic.Bool // reliability channels to this peer abandoned
 
+	// prober (probe.go): link/node disambiguation before confirmation
+	probing   []atomic.Bool // a probe of this target is in flight
+	probeDead []atomic.Bool // probing concluded the target is gone
+	probeSeq  atomic.Uint64
+	probeMu   sync.Mutex
+	probeWait map[uint64]chan struct{} // probe id -> round completion
+	kickQ     chan [2]int              // (src,dst) retransmit kicks, drained by one worker
+
 	// recovery queue (recovery.go): the monitor confirms deaths and
 	// enqueues; the recovery goroutine drains, so detection keeps running
 	// while a recovery is in progress and cascading failures queue up
@@ -156,6 +181,9 @@ type Manager struct {
 	restored       atomic.Int64
 	ckptCRCFails   atomic.Int64
 	unrecoverables atomic.Int64
+	linkSuspects   atomic.Int64
+	partitions     atomic.Int64
+	probesSent     atomic.Int64
 }
 
 // New attaches a fault-tolerance manager to a runtime. Call between
@@ -177,6 +205,10 @@ func New(rt *charm.Runtime, cfg Config) *Manager {
 		stores:    make([]*nodeStore, nodes),
 		confirmed: make([]atomic.Bool, nodes),
 		dropped:   make([]atomic.Bool, nodes),
+		probing:   make([]atomic.Bool, nodes),
+		probeDead: make([]atomic.Bool, nodes),
+		probeWait: make(map[uint64]chan struct{}),
+		kickQ:     make(chan [2]int, 256),
 		recKick:   make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 	}
@@ -191,12 +223,18 @@ func New(rt *charm.Runtime, cfg Config) *Manager {
 		fc.ExemptDispatch(heartbeatDispatch)
 	}
 	mgr.initDetector()
+	mgr.initProber()
+	// The reliability sublayer's per-channel retry streaks are the earliest
+	// gray-link signal: act on them (salt the route, kick the window)
+	// without waiting for heartbeat silence.
+	m.PAMIClient().SetRetryStreakObserver(mgr.onRetryStreak)
 	mgr.registerGroup()
 	mgr.lastCkptNS.Store(time.Now().UnixNano())
-	mgr.wg.Add(3)
+	mgr.wg.Add(4)
 	go mgr.heartbeatLoop()
 	go mgr.monitorLoop()
 	go mgr.recoveryLoop()
+	go mgr.kickWorker()
 	m.OnShutdown(mgr.Stop)
 	return mgr
 }
@@ -242,6 +280,9 @@ func (mgr *Manager) Stats() Stats {
 		RestoredElements: mgr.restored.Load(),
 		CkptCRCFails:     mgr.ckptCRCFails.Load(),
 		Unrecoverable:    mgr.unrecoverables.Load(),
+		LinkSuspects:     mgr.linkSuspects.Load(),
+		Partitions:       mgr.partitions.Load(),
+		ProbesSent:       mgr.probesSent.Load(),
 	}
 }
 

@@ -114,9 +114,16 @@ func runFFT(t *testing.T, spec string, ftCfg Config, killPE, iters int, agc ...*
 	return res
 }
 
-// tight detector settings for fast, deterministic kill tests.
+// tight detector settings for fast, deterministic kill tests, stretched by
+// raceScale so the race detector's slowdown cannot starve heartbeats or
+// time out probes of alive nodes.
 func tightCfg() Config {
-	return Config{HeartbeatInterval: time.Millisecond, SuspectAfter: 12 * time.Millisecond}
+	s := time.Duration(raceScale)
+	return Config{
+		HeartbeatInterval: s * time.Millisecond,
+		SuspectAfter:      s * 12 * time.Millisecond,
+		ProbeTimeout:      s * 20 * time.Millisecond,
+	}
 }
 
 // TestKillEachPERecoversFFT kills every PE index in turn mid-run and

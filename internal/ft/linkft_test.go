@@ -1,0 +1,231 @@
+package ft
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"blueq/internal/charm"
+	"blueq/internal/converse"
+	"blueq/internal/fft3d"
+	"blueq/internal/transport"
+)
+
+// Link-fault acceptance tests: heartbeat silence caused by a dead link
+// must end in a reroute (zero restarts, bitwise-identical output), while
+// a fully partitioned node must take exactly the node-death recovery path.
+// The 4-node shape {2,1,1,1,2} has links 0-1, 2-3, 0-2, 1-3; node 1's only
+// attachments are 0-1 and 1-3.
+
+// runFFTLink is runFFT with a mid-run hook instead of a kill schedule: the
+// hook fires once, right after iteration 3 launches, from the PE that
+// completed iteration 2.
+func runFFTLink(t *testing.T, spec string, ftCfg Config, iters int, midRun func(mgr *Manager)) fftResult {
+	t.Helper()
+	const nodes = 4
+	conv := converse.Config{Nodes: nodes, WorkersPerNode: 1, Mode: converse.ModeSMP}
+	if spec != "" {
+		tr, err := transport.New(spec, nodes, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conv.Transport = tr
+	}
+	rt, err := charm.NewRuntime(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := New(rt, ftCfg)
+	eng, err := fft3d.New(rt, nil, fft3d.Config{
+		NX: 8, NY: 8, NZ: 8, Transport: fft3d.P2P,
+		Input: func(x, y, z int) complex128 {
+			return complex(float64(x+2*y)+0.25, float64(z-y)-0.5)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Protect(eng.Array())
+	mgr.SetAppState(
+		func() []byte {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(eng.Iterations()))
+			return b[:]
+		},
+		func(pe *converse.PE, blob []byte) {
+			eng.PrepareRestart(int64(binary.LittleEndian.Uint64(blob)))
+			if err := eng.Start(pe); err != nil {
+				t.Errorf("restart: %v", err)
+				rt.Shutdown()
+			}
+		})
+
+	var once sync.Once
+	eng.SetOnComplete(func(pe *converse.PE, iter int) {
+		if iter >= iters {
+			rt.Shutdown()
+			return
+		}
+		err := mgr.Checkpoint(pe, func(pe *converse.PE) {
+			if err := eng.Start(pe); err != nil {
+				t.Errorf("start iter %d: %v", iter+1, err)
+				rt.Shutdown()
+				return
+			}
+			if midRun != nil && iter == 2 {
+				once.Do(func() { midRun(mgr) })
+			}
+		})
+		if err != nil {
+			t.Errorf("checkpoint after iter %d: %v", iter, err)
+			rt.Shutdown()
+		}
+	})
+
+	watchdog := time.AfterFunc(60*time.Second, func() {
+		t.Error("run wedged; shutting down")
+		rt.Shutdown()
+	})
+	defer watchdog.Stop()
+	rt.Run(func(pe *converse.PE) {
+		if err := mgr.Checkpoint(pe, func(pe *converse.PE) {
+			if err := eng.Start(pe); err != nil {
+				t.Errorf("start: %v", err)
+				rt.Shutdown()
+			}
+		}); err != nil {
+			t.Errorf("initial checkpoint: %v", err)
+			rt.Shutdown()
+		}
+	})
+
+	res := fftResult{stats: mgr.Stats()}
+	for pe := 0; pe < nodes; pe++ {
+		res.grids = append(res.grids, append([]complex128(nil), eng.ZData(pe)...))
+	}
+	return res
+}
+
+// A single dead link mid-FFT must be absorbed by rerouting: every packet
+// the link ate is retransmitted over the detour, no node is ever confirmed
+// dead, no checkpoint is rolled back, and the output is bitwise identical
+// to the failure-free run.
+func TestLinkFailMidFFTReroutesZeroRestarts(t *testing.T) {
+	const (
+		iters = 6
+		spec  = "faulty:seed=1,unreliable=1"
+	)
+	ref := runFFTLink(t, spec, tightCfg(), iters, nil)
+	if ref.stats.Recoveries != 0 || ref.stats.Confirmations != 0 {
+		t.Fatalf("reference run saw failures: %+v", ref.stats)
+	}
+	var tor interface{ Reroutes() int64 }
+	got := runFFTLink(t, spec, tightCfg(), iters, func(mgr *Manager) {
+		tor = mgr.m.Torus()
+		if err := mgr.m.FailLink(0, 1); err != nil {
+			t.Errorf("FailLink: %v", err)
+		}
+	})
+	if got.stats.Recoveries != 0 {
+		t.Fatalf("link failure triggered %d restarts, want 0 (stats %+v)", got.stats.Recoveries, got.stats)
+	}
+	if got.stats.Confirmations != 0 {
+		t.Fatalf("link failure confirmed a node dead: %+v", got.stats)
+	}
+	if tor == nil || tor.Reroutes() == 0 {
+		t.Fatal("run completed without the router ever rerouting")
+	}
+	assertBitwise(t, ref, got, "reroute around dead link")
+}
+
+// A node whose every link dies is — to the rest of the machine — dead:
+// the probe layer's partition verdict must hand it to the exact recovery
+// path a fail-stop takes, ending with the same bitwise output as a
+// kill-and-recover run.
+func TestPartitionedNodeRecoversLikeKill(t *testing.T) {
+	const (
+		iters = 6
+		spec  = "faulty:seed=1,unreliable=1"
+	)
+	// Reference: the same node removed by a fail-stop kill.
+	killed := runFFTLink(t, spec, tightCfg(), iters, func(mgr *Manager) {
+		mgr.KillPE(1)
+	})
+	if killed.stats.Recoveries != 1 || killed.stats.Confirmations != 1 {
+		t.Fatalf("kill reference: %+v", killed.stats)
+	}
+
+	got := runFFTLink(t, spec, tightCfg(), iters, func(mgr *Manager) {
+		if err := mgr.m.FailLink(0, 1); err != nil {
+			t.Errorf("FailLink(0,1): %v", err)
+		}
+		if err := mgr.m.FailLink(1, 3); err != nil {
+			t.Errorf("FailLink(1,3): %v", err)
+		}
+	})
+	if got.stats.Confirmations != 1 {
+		t.Fatalf("partition confirmed %d deaths, want 1 (stats %+v)", got.stats.Confirmations, got.stats)
+	}
+	if got.stats.Recoveries != 1 {
+		t.Fatalf("partition triggered %d recoveries, want 1 (stats %+v)", got.stats.Recoveries, got.stats)
+	}
+	if got.stats.Partitions == 0 {
+		t.Fatalf("recovery ran but no partition verdict was recorded: %+v", got.stats)
+	}
+	assertBitwise(t, killed, got, "partition vs kill recovery")
+}
+
+// Satellite: a node kill racing a concurrent link failure on the same peer
+// funnels two teardown paths (recovery's DropPeer sweep, and any direct
+// DropPeer a chaos harness or second pass issues) at the same channels.
+// flowctl, pami, and the envelope pool must all tolerate the double drop;
+// the run must still recover exactly once, bitwise clean.
+func TestDropPeerIdempotentUnderKillLinkRace(t *testing.T) {
+	const (
+		iters = 6
+		spec  = "faulty:seed=1,unreliable=1"
+	)
+	ref := runFFTLink(t, spec, tightCfg(), iters, nil)
+	var mach *converse.Machine
+	got := runFFTLink(t, spec, tightCfg(), iters, func(mgr *Manager) {
+		mach = mgr.m
+		// Kill the node and sever one of its links in the same instant:
+		// the detector sees fail-stop silence while the router is already
+		// steering around the dead wire.
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			mgr.KillPE(1)
+		}()
+		go func() {
+			defer wg.Done()
+			if err := mgr.m.FailLink(0, 1); err != nil {
+				t.Errorf("FailLink: %v", err)
+			}
+		}()
+		wg.Wait()
+	})
+	if got.stats.Recoveries != 1 || got.stats.Confirmations != 1 {
+		t.Fatalf("kill+link race: %+v", got.stats)
+	}
+	assertBitwise(t, ref, got, "kill racing link failure")
+	// Recovery already swept DropPeer(1) across the survivors; a second
+	// (and third) sweep must be a no-op on flowctl, pami, and envpool —
+	// not a panic, deadlock, or double credit release.
+	client := mach.PAMIClient()
+	for r := 0; r < mach.NumNodes(); r++ {
+		if mach.NodeDead(r) {
+			continue
+		}
+		client.Node(r).DropPeer(1)
+		client.Node(r).DropPeer(1)
+	}
+	if mach.EnvelopePool() != nil {
+		mach.EnvelopePool().DropOwner(1)
+	}
+	if fc := mach.FlowController(); fc != nil {
+		fc.DropPeer(1)
+	}
+}

@@ -20,4 +20,9 @@ var (
 	obsCkptCRCFail = obs.NewCounter("ft", "checkpoint_crc_fail_total", 0)
 	// Unrecoverable failures are machine-wide; shard 0 by convention.
 	obsUnrecoverable = obs.NewCounter("ft", "unrecoverable_total", 0)
+	// Link/node disambiguation (probe.go): probes shard by the probing
+	// node, link suspicions and partition verdicts by the suspect.
+	obsProbe       = obs.NewCounter("ft", "probes_sent_total", 0)
+	obsLinkSuspect = obs.NewCounter("ft", "link_suspects_total", 0)
+	obsPartition   = obs.NewCounter("ft", "partitions_total", 0)
 )

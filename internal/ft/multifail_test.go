@@ -366,6 +366,13 @@ func TestDetectorDoubleSuspicion(t *testing.T) {
 	silent(1, 2)
 	silent(1, 3)
 
+	// This test pins the vote rules, not link/node disambiguation: the
+	// machine's nodes 2 and 3 are actually running, so a live probe would
+	// (correctly) exonerate them. Pre-seed the probe verdicts as "gone" so
+	// the majority tally is what decides.
+	mgr.probeDead[2].Store(true)
+	mgr.probeDead[3].Store(true)
+
 	confirmed := mgr.evaluate()
 	want := map[int]bool{2: true, 3: true}
 	if len(confirmed) != 2 || !want[confirmed[0]] || !want[confirmed[1]] {

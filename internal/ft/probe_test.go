@@ -1,0 +1,115 @@
+package ft
+
+import (
+	"testing"
+	"time"
+
+	"blueq/internal/charm"
+	"blueq/internal/converse"
+	"blueq/internal/pami"
+)
+
+// A majority vote against a node that is actually alive (its heartbeats
+// were starved, not its heart) must NOT confirm: the probe layer pings it,
+// gets an echo, charges a link suspicion, and resets the heartbeat grace
+// so the suspicion columns clear.
+func TestProbeExoneratesAliveNode(t *testing.T) {
+	conv := converse.Config{Nodes: 4, WorkersPerNode: 1, Mode: converse.ModeSMP}
+	rt, err := charm.NewRuntime(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	// Hour-long heartbeats: the manager's loops idle, the test drives
+	// evaluate() and the PAMI contexts by hand.
+	mgr := New(rt, Config{
+		HeartbeatInterval: time.Hour,
+		SuspectAfter:      10 * time.Millisecond,
+		ProbeTimeout:      200 * time.Millisecond,
+	})
+	defer mgr.Stop()
+
+	// Nodes 0, 1, 2 have heard nothing from node 3 for a second — a
+	// unanimous vote — but node 3 is running and reachable.
+	old := time.Now().Add(-time.Second).UnixNano()
+	for o := 0; o < 3; o++ {
+		mgr.lastHeard[o][3].Store(old)
+	}
+	if confirmed := mgr.evaluate(); len(confirmed) != 0 {
+		t.Fatalf("evaluate confirmed %v before probing", confirmed)
+	}
+	if !mgr.probing[3].Load() {
+		t.Fatal("majority vote did not launch a probe")
+	}
+
+	// Pump every context so the ping reaches node 3 and the echo returns.
+	client := mgr.m.PAMIClient()
+	deadline := time.Now().Add(5 * time.Second)
+	for mgr.probing[3].Load() {
+		for r := 0; r < 4; r++ {
+			client.Node(r).Context(0).Advance()
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probe never concluded")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	if mgr.probeDead[3].Load() {
+		t.Fatal("probe declared an alive, reachable node dead")
+	}
+	st := mgr.Stats()
+	if st.ProbesSent == 0 {
+		t.Error("no probes were sent")
+	}
+	if st.LinkSuspects == 0 {
+		t.Error("exoneration did not charge a link suspicion")
+	}
+	if st.Confirmations != 0 {
+		t.Errorf("confirmations = %d, want 0", st.Confirmations)
+	}
+	// Grace was reset: the same tick logic now finds no silence.
+	if confirmed := mgr.evaluate(); len(confirmed) != 0 {
+		t.Fatalf("evaluate confirmed %v after exoneration", confirmed)
+	}
+	if mgr.confirmed[3].Load() {
+		t.Fatal("alive node ended up confirmed dead")
+	}
+}
+
+// The gray-link escape hatch end to end: every packet crossing link 0-1
+// silently dies (flaky=1.0 — the link is up as far as the router knows),
+// so the 0↔1 reliability channels starve. Retry streaks must bump the
+// pair's path salts until the router detours off the rotten link entirely,
+// at which point the retransmitted window drains and the run completes
+// with zero restarts and bitwise-identical output.
+func TestRetryStreakEscapesGrayLink(t *testing.T) {
+	base, max := pami.RetryBase, pami.RetryMax
+	s := time.Duration(raceScale)
+	pami.RetryBase, pami.RetryMax = s*200*time.Microsecond, s*2*time.Millisecond
+	t.Cleanup(func() { pami.RetryBase, pami.RetryMax = base, max })
+
+	const (
+		iters = 6
+		spec  = "faulty:seed=1,unreliable=1"
+	)
+	ref := runFFTLink(t, spec, tightCfg(), iters, nil)
+	if ref.stats.Recoveries != 0 || ref.stats.Confirmations != 0 {
+		t.Fatalf("reference run saw failures: %+v", ref.stats)
+	}
+	got := runFFTLink(t, spec, tightCfg(), iters, func(mgr *Manager) {
+		if err := mgr.m.Torus().DegradeLink(0, 1, 1.0, 0); err != nil {
+			t.Errorf("DegradeLink: %v", err)
+		}
+	})
+	if got.stats.Recoveries != 0 {
+		t.Fatalf("gray link triggered %d restarts, want 0 (stats %+v)", got.stats.Recoveries, got.stats)
+	}
+	if got.stats.Confirmations != 0 {
+		t.Fatalf("gray link confirmed a node dead: %+v", got.stats)
+	}
+	if got.stats.LinkSuspects == 0 {
+		t.Fatalf("run escaped the gray link without a single link suspicion: %+v", got.stats)
+	}
+	assertBitwise(t, ref, got, "gray-link escape")
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package ft
+
+// raceScale is 1 in normal builds; see scale_race_test.go.
+const raceScale = 1

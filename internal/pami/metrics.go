@@ -20,4 +20,9 @@ var (
 	// Wire integrity: packets whose CRC32C failed verification at dispatch
 	// (dropped for retransmission to repair).
 	mCRCFail = obs.NewCounter("pami", "crc_fail_total", 0)
+
+	// Link health: retry-streak observer firings (a send channel hit a
+	// multiple of RetryStreakThreshold consecutive unacknowledged rounds),
+	// charged to the starved sender.
+	mRelStreak = obs.NewCounter("pami", "retry_streak_total", 0)
 )

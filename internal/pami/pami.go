@@ -44,6 +44,22 @@ type Client struct {
 	fc       *flowctl.Controller // nil: flow control disabled
 	crc      bool                // wire CRC32C armed (unreliable transport + CRCEnabled)
 	crcFails atomic.Int64
+	// streakObs, when set, is notified of sustained retransmission streaks
+	// on any node's send channels (see RetryStreakObserver). Atomic so the
+	// fault-tolerance layer can attach after traffic has started.
+	streakObs atomic.Pointer[RetryStreakObserver]
+}
+
+// SetRetryStreakObserver installs (or, with nil, removes) the observer
+// notified when any send channel's consecutive-retry streak reaches a
+// multiple of RetryStreakThreshold. One observer per client; safe to call
+// while traffic is flowing.
+func (c *Client) SetRetryStreakObserver(f RetryStreakObserver) {
+	if f == nil {
+		c.streakObs.Store(nil)
+		return
+	}
+	c.streakObs.Store(&f)
 }
 
 // NewClient creates a client over the given transport, with ctxPerNode

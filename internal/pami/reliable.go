@@ -44,7 +44,22 @@ var (
 	// re-offers it once the gap closes: exactly-once delivery with bounded
 	// receiver memory. A flowctl Config overrides it (NewClientFlow).
 	DefaultReorderCap = 512
+	// RetryStreakThreshold is how many consecutive retransmission rounds a
+	// channel endures without an intervening ack before the retry-streak
+	// observer fires (and fires again every further multiple). Streaks are
+	// the reliability sublayer's link-health signal: a peer that acks
+	// other nodes but starves one channel looks like a gray link, not a
+	// dead node, and the fault-tolerance layer uses the streak to suspect
+	// the path rather than the peer.
+	RetryStreakThreshold = 3
 )
+
+// RetryStreakObserver is notified when the (src, dst) channel's
+// consecutive-retry streak reaches a multiple of RetryStreakThreshold.
+// Called outside the reliability lock, possibly from a timer goroutine;
+// it must not block and must not call back into KickRetransmit
+// synchronously.
+type RetryStreakObserver func(src, dst, streak int)
 
 // relPacket wraps an eager active message with its channel sequence number.
 type relPacket struct {
@@ -65,6 +80,7 @@ type relSendState struct {
 	credited map[uint64]struct{} // seqs holding a flow-control credit
 	timer    *time.Timer
 	backoff  time.Duration
+	streak   int // consecutive retry rounds since the last ack
 }
 
 // relRecvState is the receiver half: nextExpected is the cumulative
@@ -87,10 +103,11 @@ type ReliabilityStats struct {
 
 // reliator owns the reliability state of one node.
 type reliator struct {
-	node *Node
-	base time.Duration // RetryBase at construction
-	max  time.Duration // RetryMax at construction
-	rcap int           // reorder buffer cap per channel
+	node      *Node
+	base      time.Duration // RetryBase at construction
+	max       time.Duration // RetryMax at construction
+	rcap      int           // reorder buffer cap per channel
+	streakThr int           // RetryStreakThreshold at construction
 
 	mu    sync.Mutex
 	send  map[int]*relSendState
@@ -104,12 +121,13 @@ func newReliator(n *Node, reorderCap int) *reliator {
 		reorderCap = DefaultReorderCap
 	}
 	return &reliator{
-		node: n,
-		base: RetryBase,
-		max:  RetryMax,
-		rcap: reorderCap,
-		send: make(map[int]*relSendState),
-		recv: make(map[int]*relRecvState),
+		node:      n,
+		base:      RetryBase,
+		max:       RetryMax,
+		rcap:      reorderCap,
+		streakThr: RetryStreakThreshold,
+		send:      make(map[int]*relSendState),
+		recv:      make(map[int]*relRecvState),
 	}
 }
 
@@ -195,6 +213,8 @@ func (r *reliator) retry(dstNode int) {
 		packets[i] = st.unacked[seq]
 	}
 	r.stats.Retries += int64(len(packets))
+	st.streak++
+	streak := st.streak
 	if st.backoff < r.max {
 		st.backoff *= 2
 		if st.backoff > r.max {
@@ -205,6 +225,18 @@ func (r *reliator) retry(dstNode int) {
 	r.mu.Unlock()
 	if obs.On() {
 		mRelRetry.Add(r.node.rank, int64(len(packets)))
+	}
+	// Surface sustained starvation: every streakThr consecutive
+	// unacknowledged rounds, tell the observer (outside the lock — the
+	// handler may take its own locks). Modulo, not ==, so a channel that
+	// stays starved keeps re-raising suspicion.
+	if streak%r.streakThr == 0 {
+		if f := r.node.client.streakObs.Load(); f != nil {
+			if obs.On() {
+				mRelStreak.Inc(r.node.rank)
+			}
+			(*f)(r.node.rank, dstNode, streak)
+		}
 	}
 	for _, p := range packets {
 		_ = r.node.ep.Inject(p)
@@ -312,6 +344,9 @@ func (r *reliator) onAck(from int, cum uint64) {
 		r.mu.Unlock()
 		return
 	}
+	// Any ack arriving proves the round trip works right now, whatever
+	// it covers — clear the consecutive-retry streak.
+	st.streak = 0
 	released := 0
 	for seq := range st.unacked {
 		if seq <= cum {
@@ -358,9 +393,44 @@ func (r *reliator) dropPeer(dstNode int) {
 		delete(st.credited, seq)
 	}
 	st.backoff = 0
+	st.streak = 0
 	if st.timer != nil {
 		st.timer.Stop()
 		st.timer = nil
+	}
+}
+
+// kick collapses the channel's backoff and retransmits the pending window
+// immediately. The fault-tolerance layer calls it through Node.
+// KickRetransmit after rerouting around a link fault: the packets the dead
+// link ate are sitting in the window with a backoff that may have climbed
+// to RetryMax, and waiting it out would serialize the reroute behind the
+// slowest timer.
+func (r *reliator) kick(dstNode int) {
+	r.mu.Lock()
+	st := r.send[dstNode]
+	if st == nil || r.down {
+		r.mu.Unlock()
+		return
+	}
+	if st.timer != nil {
+		st.timer.Stop()
+		st.timer = nil
+	}
+	st.backoff = 0
+	r.mu.Unlock()
+	r.retry(dstNode)
+}
+
+// KickRetransmit immediately retransmits every unacknowledged packet to
+// the peer and resets the channel's backoff, as if the first retry timer
+// had just fired (no-op when the transport is reliable or the channel is
+// idle). Call it after the route to the peer changed — newly healed or
+// salted around a fault — so delivery resumes at once instead of after
+// the accumulated exponential backoff.
+func (n *Node) KickRetransmit(dstNode int) {
+	if n.rel != nil {
+		n.rel.kick(dstNode)
 	}
 }
 

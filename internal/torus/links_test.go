@@ -1,0 +1,266 @@
+package torus
+
+import "testing"
+
+// fourNode is the standard 4-node partition shape {2,1,1,1,2}: a 4-cycle
+// 0-1 (E), 0-2 (A), 1-3 (A), 2-3 (E).
+func fourNode(t *testing.T) *Torus {
+	t.Helper()
+	tor := MustNew(ShapeForNodes(4))
+	if tor.Nodes() != 4 {
+		t.Fatalf("ShapeForNodes(4) has %d nodes", tor.Nodes())
+	}
+	return tor
+}
+
+func hops(t *testing.T, tor *Torus, src int, route []int) int {
+	t.Helper()
+	prev := src
+	for _, to := range route {
+		found := false
+		for _, nb := range tor.Neighbors(prev) {
+			if nb == to {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("route %v from %d: %d-%d is not a link", route, src, prev, to)
+		}
+		prev = to
+	}
+	return len(route)
+}
+
+func crossesLink(src int, route []int, a, b int) bool {
+	key := linkKey(a, b)
+	prev := src
+	for _, to := range route {
+		if linkKey(prev, to) == key {
+			return true
+		}
+		prev = to
+	}
+	return false
+}
+
+func TestFaultRouteNoFaultsIsMinimal(t *testing.T) {
+	tor := MustNew(Shape{4, 2, 1, 1, 2})
+	for a := 0; a < tor.Nodes(); a++ {
+		for b := 0; b < tor.Nodes(); b++ {
+			route, minimal, ok := tor.FaultRoute(a, b)
+			if !ok || !minimal {
+				t.Fatalf("FaultRoute(%d,%d): ok=%v minimal=%v", a, b, ok, minimal)
+			}
+			if got, want := hops(t, tor, a, route), tor.HopCount(a, b); got != want {
+				t.Fatalf("FaultRoute(%d,%d) = %d hops, HopCount %d", a, b, got, want)
+			}
+			if len(route) > 0 && route[len(route)-1] != b {
+				t.Fatalf("FaultRoute(%d,%d) ends at %d", a, b, route[len(route)-1])
+			}
+		}
+	}
+	if tor.Reroutes() != 0 {
+		t.Fatalf("fault-free routing counted %d reroutes", tor.Reroutes())
+	}
+}
+
+func TestLinkStateTableAndGeneration(t *testing.T) {
+	tor := fourNode(t)
+	if tor.HasLinkFaults() {
+		t.Fatal("fresh torus reports link faults")
+	}
+	g0 := tor.RouteGen()
+	if err := tor.FailLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !tor.HasLinkFaults() {
+		t.Fatal("FailLink did not arm HasLinkFaults")
+	}
+	if tor.RouteGen() == g0 {
+		t.Fatal("FailLink did not bump the route generation")
+	}
+	if got := tor.LinkFaultOf(1, 0).State; got != LinkDown {
+		t.Fatalf("LinkFaultOf(1,0) = %v, want down (undirected)", got)
+	}
+	if dl := tor.DownLinks(); len(dl) != 1 || dl[0] != [2]int{0, 1} {
+		t.Fatalf("DownLinks = %v", dl)
+	}
+	if err := tor.HealLink(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tor.HasLinkFaults() {
+		t.Fatal("HealLink left faults armed")
+	}
+	if err := tor.DegradeLink(0, 1, 0.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if f := tor.LinkFaultOf(0, 1); f.State != LinkDegraded || f.FlakyRate != 0.5 || f.SlowFactor != 2 {
+		t.Fatalf("degraded fault = %+v", f)
+	}
+
+	// Validation: non-links and bad ranks are rejected.
+	if err := tor.FailLink(0, 3); err == nil {
+		t.Fatal("FailLink(0,3) accepted a non-link (diagonal)")
+	}
+	if err := tor.FailLink(0, 9); err == nil {
+		t.Fatal("FailLink accepted an out-of-range rank")
+	}
+	if err := tor.FailLink(2, 2); err == nil {
+		t.Fatal("FailLink accepted a self-link")
+	}
+	if err := tor.DegradeLink(0, 1, 1.5, 0); err == nil {
+		t.Fatal("DegradeLink accepted flaky rate > 1")
+	}
+}
+
+func TestFaultRouteAvoidsDownLink(t *testing.T) {
+	tor := fourNode(t)
+	if err := tor.FailLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	route, minimal, ok := tor.FaultRoute(0, 1)
+	if !ok {
+		t.Fatal("0-1 unreachable with three links still up")
+	}
+	if minimal {
+		t.Fatalf("route %v claimed minimal; 0-1 only minimal route is down", route)
+	}
+	if crossesLink(0, route, 0, 1) {
+		t.Fatalf("detour %v crosses the down link", route)
+	}
+	if got := hops(t, tor, 0, route); got != 3 {
+		t.Fatalf("detour %v is %d hops, want 3 (0-2-3-1)", route, got)
+	}
+	if tor.Reroutes() == 0 || tor.Detours() == 0 {
+		t.Fatalf("reroutes=%d detours=%d after a forced detour", tor.Reroutes(), tor.Detours())
+	}
+	// Unaffected pairs keep their minimal routes.
+	route, minimal, ok = tor.FaultRoute(2, 3)
+	if !ok || !minimal || len(route) != 1 {
+		t.Fatalf("FaultRoute(2,3) = %v minimal=%v ok=%v", route, minimal, ok)
+	}
+}
+
+func TestFaultRouteMinimalAlternative(t *testing.T) {
+	// 2x2x1x1x2: pairs differing in A and E have two minimal dimension
+	// orders; kill one first-hop link and the router should stay minimal.
+	tor := MustNew(Shape{2, 2, 1, 1, 2})
+	a, b := 0, tor.RankOf(Coord{1, 0, 0, 0, 1})
+	def, _, _ := tor.FaultRoute(a, b)
+	if err := tor.FailLink(a, def[0]); err != nil {
+		t.Fatal(err)
+	}
+	route, minimal, ok := tor.FaultRoute(a, b)
+	if !ok || !minimal {
+		t.Fatalf("FaultRoute = %v minimal=%v ok=%v, want a minimal alternative", route, minimal, ok)
+	}
+	if got, want := hops(t, tor, a, route), tor.HopCount(a, b); got != want {
+		t.Fatalf("alternative is %d hops, want minimal %d", got, want)
+	}
+	if crossesLink(a, route, a, def[0]) {
+		t.Fatalf("alternative %v still crosses the down link", route)
+	}
+}
+
+func TestFaultRoutePartition(t *testing.T) {
+	tor := fourNode(t)
+	// Node 3's links are 1-3 and 2-3; killing both partitions it.
+	if err := tor.FailLink(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !tor.Reachable(0, 3) {
+		t.Fatal("one down link should not partition the 4-cycle")
+	}
+	if err := tor.FailLink(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tor.FaultRoute(0, 3); ok {
+		t.Fatal("route to a fully partitioned node")
+	}
+	if tor.Reachable(0, 3) || tor.Reachable(3, 1) {
+		t.Fatal("Reachable claims a partitioned pair")
+	}
+	if !tor.Reachable(0, 2) {
+		t.Fatal("survivor pair wrongly partitioned")
+	}
+	// Healing restores reachability and bumps the generation.
+	g := tor.RouteGen()
+	if err := tor.HealLink(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if tor.RouteGen() == g {
+		t.Fatal("heal did not bump the generation")
+	}
+	if !tor.Reachable(0, 3) {
+		t.Fatal("heal did not restore reachability")
+	}
+}
+
+func TestPathSaltDiversifiesRoutes(t *testing.T) {
+	tor := MustNew(Shape{2, 2, 1, 1, 2})
+	a, b := 0, tor.RankOf(Coord{1, 1, 0, 0, 1})
+	def, _, _ := tor.FaultRoute(a, b)
+	g := tor.RouteGen()
+	tor.BumpPathSalt(a, b)
+	if tor.RouteGen() == g {
+		t.Fatal("BumpPathSalt did not bump the generation")
+	}
+	alt, minimal, ok := tor.FaultRoute(a, b)
+	if !ok || !minimal {
+		t.Fatalf("salted route %v minimal=%v ok=%v", alt, minimal, ok)
+	}
+	if sameRoute(def, alt) {
+		t.Fatalf("salt 1 returned the default route %v for a 3-dim pair", def)
+	}
+	if got, want := hops(t, tor, a, alt), tor.HopCount(a, b); got != want {
+		t.Fatalf("salted route is %d hops, want minimal %d", got, want)
+	}
+	// Other pairs are unaffected.
+	if s := tor.PathSalt(b, a); s != 0 {
+		t.Fatalf("reverse pair salt = %d", s)
+	}
+	tor.ClearPathSalt(a, b)
+	back, _, _ := tor.FaultRoute(a, b)
+	if !sameRoute(def, back) {
+		t.Fatalf("ClearPathSalt did not restore the default route: %v vs %v", back, def)
+	}
+}
+
+func TestPathSaltEscapesUniqueMinimalRoute(t *testing.T) {
+	// Adjacent pair: the minimal route IS the (gray) link. Enough salt
+	// bumps must force a detour off it even though the fault table has no
+	// entry for it.
+	tor := fourNode(t)
+	for i := 0; i < Dims; i++ {
+		tor.BumpPathSalt(0, 1)
+	}
+	route, minimal, ok := tor.FaultRoute(0, 1)
+	if !ok {
+		t.Fatal("salted adjacent pair became unreachable")
+	}
+	if minimal || crossesLink(0, route, 0, 1) {
+		t.Fatalf("salt %d route %v (minimal=%v) still rides the suspect link", Dims, route, minimal)
+	}
+}
+
+func TestFaultRouteStillDeliversWithSaltAndPartialFailure(t *testing.T) {
+	// Salt plus down links at once: the route must avoid down links even
+	// when the salt's default-route avoidance over-constrains the graph.
+	tor := fourNode(t)
+	if err := tor.FailLink(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < Dims+2; i++ {
+		tor.BumpPathSalt(0, 1)
+	}
+	route, _, ok := tor.FaultRoute(0, 1)
+	if !ok {
+		t.Fatal("reachable pair reported partitioned")
+	}
+	if crossesLink(0, route, 0, 2) {
+		t.Fatalf("route %v crosses the down link", route)
+	}
+	if route[len(route)-1] != 1 {
+		t.Fatalf("route %v does not end at 1", route)
+	}
+}

@@ -1,0 +1,13 @@
+package torus
+
+import "blueq/internal/obs"
+
+// Observability instrumentation for link faults and fail-aware routing
+// (internal/obs), guarded by obs.On() at the call sites. Reroutes shard
+// by the route's source rank; link_state is a machine-wide gauge of how
+// many links are currently not up.
+var (
+	obsLinkState = obs.NewGauge("torus", "link_state")
+	obsLinkDown  = obs.NewCounter("torus", "link_down_total", 0)
+	obsReroute   = obs.NewCounter("torus", "reroutes_total", 0)
+)

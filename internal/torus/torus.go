@@ -10,7 +10,10 @@
 // internal/cluster.
 package torus
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Dims is the number of torus dimensions (A,B,C,D,E on BG/Q).
 const Dims = 5
@@ -74,6 +77,10 @@ type Torus struct {
 	shape Shape
 	// strides for rank<->coord conversion
 	stride [Dims]int
+	// links is the lazily-created link-fault table (links.go). nil until
+	// the first fault or salt is installed, so shape-math-only uses pay
+	// nothing.
+	links atomic.Pointer[linkTable]
 }
 
 // New returns a torus with the given shape. All extents must be >= 1.

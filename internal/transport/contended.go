@@ -33,12 +33,24 @@ type Contended struct {
 	eps   []Endpoint
 
 	mu     sync.Mutex
-	links  map[[2]int]time.Time // directed link -> busy-until
-	routes map[[2]int][]int     // (src,dst) -> rank route cache
+	links  map[[2]int]time.Time  // directed link -> busy-until
+	routes map[[2]int]*contRoute // (src,dst) -> fail-aware route cache
 
-	injected atomic.Int64
-	stalled  atomic.Int64
-	stallNS  atomic.Int64
+	injected  atomic.Int64
+	stalled   atomic.Int64
+	stallNS   atomic.Int64
+	linkDrops atomic.Int64
+}
+
+// contRoute is one cached route, valid while the torus route generation
+// matches gen: the fail-aware path, per-link serialization multipliers
+// for degraded links (nil when every link is nominal), and whether any
+// route survives at all.
+type contRoute struct {
+	gen   uint64
+	ok    bool
+	path  []int
+	slows []float64
 }
 
 // NewContended wraps inner with the torus contention model.
@@ -51,7 +63,7 @@ func NewContended(inner Transport, cfg ContentionConfig) *Contended {
 		inner:  inner,
 		scale:  scale,
 		links:  make(map[[2]int]time.Time),
-		routes: make(map[[2]int][]int),
+		routes: make(map[[2]int]*contRoute),
 	}
 	t.dl = newDelayLine(func(src int, p torus.Packet) {
 		_ = inner.Endpoint(src).Inject(p)
@@ -87,6 +99,7 @@ func (t *Contended) Stats() Stats {
 	s.Injected = t.injected.Load()
 	s.Delayed += t.stalled.Load()
 	s.StallNS += t.stallNS.Load()
+	s.LinkDrops += t.linkDrops.Load()
 	return s
 }
 
@@ -100,18 +113,22 @@ func (t *Contended) String() string {
 	return fmt.Sprintf("contended(%s, scale=%g)", t.inner, t.scale)
 }
 
-// bookRoute walks the dimension-order route from src to dst, serializing
-// the packetized payload on every directed link FCFS behind earlier
-// traffic, and returns the absolute delivery time plus the portion spent
-// stalled behind other packets. The due time is computed against a single
+// bookRoute walks the fail-aware route from src to dst, serializing the
+// packetized payload on every directed link FCFS behind earlier traffic,
+// and returns the absolute delivery time plus the portion spent stalled
+// behind other packets. Routes are cached per (src,dst) and invalidated
+// by the torus route-generation counter, so a link failure, heal or
+// adaptive path-salt bump recomputes exactly the routes it affects.
+// ok=false means the down links partition the pair and the packet is
+// lost on the severed wire. The due time is computed against a single
 // clock read under the booking lock: per-(src,dst) due times are then
 // strictly monotone in booking order, which is the invariant the delay
 // line's FIFO guarantee rests on (a relative delay re-anchored to a second
 // clock read at schedule time loses it whenever the goroutine is preempted
 // between the two reads).
-func (t *Contended) bookRoute(src, dst, bytes int) (due time.Time, stall time.Duration) {
+func (t *Contended) bookRoute(src, dst, bytes int) (due time.Time, stall time.Duration, ok bool) {
 	if src == dst {
-		return time.Now(), 0
+		return time.Now(), 0, true
 	}
 	packets := (bytes + torus.PacketSize - 1) / torus.PacketSize
 	if packets < 1 {
@@ -119,33 +136,65 @@ func (t *Contended) bookRoute(src, dst, bytes int) (due time.Time, stall time.Du
 	}
 	ser := time.Duration(float64(packets*torus.PacketSize) / torus.EffectiveBW * 1e9 * t.scale)
 	hop := time.Duration(torus.HopLatencySeconds * 1e9 * t.scale)
+	tor := t.inner.Torus()
+	gen := tor.RouteGen()
 
 	t.mu.Lock()
 	cursor := time.Now()
-	route, ok := t.routes[[2]int{src, dst}]
-	if !ok {
-		tor := t.inner.Torus()
-		for _, c := range tor.Route(src, dst) {
-			route = append(route, tor.RankOf(c))
+	cr := t.routes[[2]int{src, dst}]
+	if cr == nil || cr.gen != gen {
+		cr = &contRoute{gen: gen}
+		cr.path, _, cr.ok = tor.FaultRoute(src, dst)
+		if cr.ok && tor.HasLinkFaults() {
+			prev := src
+			for i, to := range cr.path {
+				if f := tor.LinkFaultOf(prev, to); f.SlowFactor > 0 {
+					if cr.slows == nil {
+						cr.slows = make([]float64, len(cr.path))
+					}
+					cr.slows[i] = f.SlowFactor
+				}
+				prev = to
+			}
 		}
-		t.routes[[2]int{src, dst}] = route
+		t.routes[[2]int{src, dst}] = cr
+	}
+	if !cr.ok {
+		t.mu.Unlock()
+		return time.Time{}, 0, false
 	}
 	prev := src
-	for _, to := range route {
+	for i, to := range cr.path {
 		key := [2]int{prev, to}
 		start := cursor
 		if free, ok := t.links[key]; ok && free.After(start) {
 			stall += free.Sub(start)
 			start = free
 		}
-		end := start.Add(ser)
+		serL := ser
+		if cr.slows != nil && cr.slows[i] > 0 {
+			serL = time.Duration(float64(ser) * cr.slows[i])
+		}
+		end := start.Add(serL)
 		t.links[key] = end
 		cursor = end.Add(hop)
 		prev = to
 	}
 	t.mu.Unlock()
-	return cursor, stall
+	return cursor, stall, true
 }
+
+// FailLink programmatically takes the physical link a-b out of service.
+// Implements LinkFaulter. Packets whose pair the failure partitions are
+// dropped (Stats.LinkDrops) — arming fault injection on a bare contended
+// transport is an explicit choice to leave the reliability sublayer's
+// contract to the operator.
+func (t *Contended) FailLink(a, b int) error { return t.inner.Torus().FailLink(a, b) }
+
+// HealLink returns the link a-b to service. Implements LinkFaulter.
+func (t *Contended) HealLink(a, b int) error { return t.inner.Torus().HealLink(a, b) }
+
+var _ LinkFaulter = (*Contended)(nil)
 
 // contendedEndpoint intercepts Inject to apply the link model; everything
 // on the reception side delegates to the inner endpoint.
@@ -165,8 +214,15 @@ func (e *contendedEndpoint) Inject(p torus.Packet) error {
 	if p.Dst < 0 || p.Dst >= t.Nodes() {
 		return fmt.Errorf("transport: destination rank %d out of range [0,%d)", p.Dst, t.Nodes())
 	}
-	due, stall := t.bookRoute(e.inner.Rank(), p.Dst, p.Bytes)
+	due, stall, ok := t.bookRoute(e.inner.Rank(), p.Dst, p.Bytes)
 	t.injected.Add(1)
+	if !ok {
+		t.linkDrops.Add(1)
+		if obs.On() {
+			obsLinkDrop.Inc(e.inner.Rank())
+		}
+		return nil
+	}
 	if stall > 0 {
 		t.stalled.Add(1)
 		t.stallNS.Add(int64(stall))

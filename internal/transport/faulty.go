@@ -48,6 +48,11 @@ type FaultConfig struct {
 	// the packet-level rates and do not flip Reliable() — a dead node is a
 	// fault-tolerance event, not a lossy-channel event.
 	Kills []KillEvent
+	// Links schedules link-state events (down/heal/flaky/slow) against
+	// the torus link table. Unlike Kills they DO flip Reliable(): a flaky
+	// or severed link loses packets between live nodes, which only the
+	// reliability sublayer can repair.
+	Links []LinkEvent
 }
 
 // KillEvent fail-stops one node at a fixed offset from transport start.
@@ -82,6 +87,15 @@ type Faulty struct {
 	killTimers  []*time.Timer
 	killedNodes atomic.Int64
 	killedDrops atomic.Int64
+
+	// Link faults: scheduled events, the per-pair fail-aware route cache
+	// (invalidated by the torus route generation), and whether the inner
+	// transport is the contended model (which then owns slow-link timing).
+	linkTimers   []*time.Timer
+	linkDrops    atomic.Int64
+	viaContended bool
+	lrMu         sync.Mutex
+	lroutes      map[[2]int]linkRoute
 }
 
 // NewFaulty wraps inner with fault injection.
@@ -92,11 +106,14 @@ func NewFaulty(inner Transport, cfg FaultConfig) *Faulty {
 	if cfg.DelayMax <= 0 {
 		cfg.DelayMax = 200 * time.Microsecond
 	}
+	_, viaContended := inner.(*Contended)
 	t := &Faulty{
-		inner:  inner,
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		killed: make([]atomic.Bool, inner.Nodes()),
+		inner:        inner,
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		killed:       make([]atomic.Bool, inner.Nodes()),
+		viaContended: viaContended,
+		lroutes:      make(map[[2]int]linkRoute),
 	}
 	t.dl = newDelayLine(func(src int, p torus.Packet) {
 		// A packet in flight toward (or from) a node that died while it was
@@ -118,7 +135,46 @@ func NewFaulty(inner Transport, cfg FaultConfig) *Faulty {
 		rank := k.Rank
 		t.killTimers = append(t.killTimers, time.AfterFunc(k.After, func() { t.KillNode(rank) }))
 	}
+	tor := inner.Torus()
+	for _, ev := range cfg.Links {
+		ev := ev
+		t.linkTimers = append(t.linkTimers, time.AfterFunc(ev.After, func() {
+			applyLinkEvent(tor, ev)
+			if obs.On() {
+				obsLinkEvent.Inc(ev.A)
+			}
+		}))
+	}
 	return t
+}
+
+// FailLink programmatically takes the physical link a-b out of service;
+// routes recompute around it through the shared torus table. Implements
+// LinkFaulter.
+func (t *Faulty) FailLink(a, b int) error { return t.inner.Torus().FailLink(a, b) }
+
+// HealLink returns the link a-b to service. Implements LinkFaulter.
+func (t *Faulty) HealLink(a, b int) error { return t.inner.Torus().HealLink(a, b) }
+
+var _ LinkFaulter = (*Faulty)(nil)
+
+// linkRouteFor returns the cached fail-aware routing verdict for the
+// pair, recomputing when the torus route generation moved (a link event
+// or an adaptive path-salt bump).
+func (t *Faulty) linkRouteFor(src, dst int) linkRoute {
+	tor := t.inner.Torus()
+	gen := tor.RouteGen()
+	key := [2]int{src, dst}
+	t.lrMu.Lock()
+	lr, ok := t.lroutes[key]
+	if !ok || lr.gen != gen {
+		t.lrMu.Unlock()
+		lr = resolveLinkRoute(tor, src, dst)
+		t.lrMu.Lock()
+		t.lroutes[key] = lr
+	}
+	t.lrMu.Unlock()
+	return lr
 }
 
 // KillNode fail-stops the node: every packet from it, to it, or in flight
@@ -162,7 +218,8 @@ func (t *Faulty) Endpoint(rank int) Endpoint { return t.eps[rank] }
 func (t *Faulty) Reliable() bool {
 	return !t.cfg.ForceUnreliable &&
 		t.cfg.DropRate == 0 && t.cfg.DupRate == 0 && t.cfg.DelayRate == 0 &&
-		t.cfg.CorruptRate == 0 && t.cfg.TruncateRate == 0 && t.inner.Reliable()
+		t.cfg.CorruptRate == 0 && t.cfg.TruncateRate == 0 &&
+		len(t.cfg.Links) == 0 && t.inner.Reliable()
 }
 
 // Pending reports whether delayed packets remain in flight.
@@ -182,6 +239,7 @@ func (t *Faulty) Stats() Stats {
 	s.Truncated = t.truncated.Load()
 	s.KilledNodes = t.killedNodes.Load()
 	s.KilledDrops = t.killedDrops.Load()
+	s.LinkDrops += t.linkDrops.Load()
 	return s
 }
 
@@ -189,6 +247,9 @@ func (t *Faulty) Stats() Stats {
 // packets are dropped.
 func (t *Faulty) Close() {
 	for _, tm := range t.killTimers {
+		tm.Stop()
+	}
+	for _, tm := range t.linkTimers {
 		tm.Stop()
 	}
 	t.dl.close()
@@ -254,11 +315,35 @@ func (e *faultyEndpoint) Inject(p torus.Packet) error {
 	}
 	t.injected.Add(1)
 
+	// Link faults: one atomic load when the table is quiet. With faults
+	// armed, the cached fail-aware route decides the packet's fate — a
+	// partitioned pair loses the packet outright, degraded links on the
+	// route add loss probability and serialization delay.
+	var linkFlaky, linkSlow float64
+	if t.inner.Torus().HasLinkFaults() {
+		lr := t.linkRouteFor(src, p.Dst)
+		if !lr.ok {
+			t.linkDrops.Add(1)
+			if obs.On() {
+				obsLinkDrop.Inc(src)
+			}
+			return nil
+		}
+		linkFlaky = lr.flaky
+		if !t.viaContended {
+			// Over inproc there is no serialization model to stretch, so a
+			// slow link becomes injected delay; over contended the booking
+			// path applies the factor to the link itself.
+			linkSlow = lr.slow
+		}
+	}
+
 	t.mu.Lock()
-	drop := t.rng.Float64() < t.cfg.DropRate
-	dup := !drop && t.rng.Float64() < t.cfg.DupRate
+	linkDropped := linkFlaky > 0 && t.rng.Float64() < linkFlaky
+	drop := !linkDropped && t.rng.Float64() < t.cfg.DropRate
+	dup := !drop && !linkDropped && t.rng.Float64() < t.cfg.DupRate
 	var delay, dupDelay time.Duration
-	if !drop && t.cfg.DelayRate > 0 && t.rng.Float64() < t.cfg.DelayRate {
+	if !drop && !linkDropped && t.cfg.DelayRate > 0 && t.rng.Float64() < t.cfg.DelayRate {
 		delay = time.Duration(1 + t.rng.Int63n(int64(t.cfg.DelayMax)))
 	}
 	if dup {
@@ -267,14 +352,25 @@ func (e *faultyEndpoint) Inject(p torus.Packet) error {
 	// Corruption damages the delivered copy only: a duplicate is a second
 	// wire image and travels undamaged, like independent physical packets.
 	corrupted, truncated := false, false
-	if !drop && t.cfg.CorruptRate > 0 && t.rng.Float64() < t.cfg.CorruptRate {
+	if !drop && !linkDropped && t.cfg.CorruptRate > 0 && t.rng.Float64() < t.cfg.CorruptRate {
 		p = t.corruptLocked(p)
 		corrupted = true
-	} else if !drop && t.cfg.TruncateRate > 0 && t.rng.Float64() < t.cfg.TruncateRate {
+	} else if !drop && !linkDropped && t.cfg.TruncateRate > 0 && t.rng.Float64() < t.cfg.TruncateRate {
 		p = t.truncateLocked(p)
 		truncated = true
 	}
 	t.mu.Unlock()
+
+	if linkDropped {
+		t.linkDrops.Add(1)
+		if obs.On() {
+			obsLinkDrop.Inc(src)
+		}
+		return nil
+	}
+	if linkSlow > 0 {
+		delay += time.Duration(linkSlow * torus.TransferTime(p.Bytes, 1) * 1e9)
+	}
 
 	if corrupted {
 		t.corrupted.Add(1)

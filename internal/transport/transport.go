@@ -103,6 +103,9 @@ type Stats struct {
 	// KilledDrops counts packets discarded because their source or
 	// destination node was dead.
 	KilledDrops int64
+	// LinkDrops counts packets lost to link faults: crossings of a flaky
+	// link, or a (src,dst) pair the down links have partitioned.
+	LinkDrops int64
 }
 
 // Transport is a pluggable messaging substrate spanning all simulated
@@ -141,7 +144,7 @@ type Transport interface {
 //
 //	inproc
 //	contended[:scale=F]
-//	faulty[:seed=N,drop=F,dup=F,delayrate=F,delaymax=DUR,corrupt=F,truncate=F,unreliable=B,scale=F,kill=R@DUR]
+//	faulty[:seed=N,drop=F,dup=F,delayrate=F,delaymax=DUR,corrupt=F,truncate=F,unreliable=B,scale=F,kill=R@DUR,link=A-B@DUR:MODE]
 //
 // Rates are probabilities in [0,1]; delaymax takes time.ParseDuration
 // syntax; scale multiplies the contended backend's modelled link delays
@@ -151,7 +154,13 @@ type Transport interface {
 // checksum stack with every fault rate at zero (protocol-overhead
 // benchmarks). kill=R@DUR fail-stops node rank R DUR after the transport
 // is built; multiple kills join with '+' (kill=2@300ms+3@1s) since option
-// keys are unique. An empty spec selects inproc.
+// keys are unique. link=A-B@DUR[:down|heal|flaky=P|slow=F] schedules a
+// link-state event against the torus link table DUR after the transport
+// is built ('+'-joined like kills, default mode down, composable with
+// kill= and the packet rates); A-B must name a physical torus link.
+// Malformed options — unknown keys, duplicate keys, rates outside [0,1],
+// non-links, unknown event modes — are rejected with a descriptive error
+// rather than silently ignored. An empty spec selects inproc.
 func New(spec string, nodes, fifosPerNode int) (Transport, error) {
 	name := spec
 	var opts string
@@ -174,7 +183,7 @@ func New(spec string, nodes, fifosPerNode int) (Transport, error) {
 		for k, v := range kv {
 			switch k {
 			case "scale":
-				if cfg.TimeScale, err = strconv.ParseFloat(v, 64); err != nil {
+				if cfg.TimeScale, err = parseScale(v); err != nil {
 					return nil, fmt.Errorf("transport %q: scale: %w", spec, err)
 				}
 			default:
@@ -192,27 +201,30 @@ func New(spec string, nodes, fifosPerNode int) (Transport, error) {
 					return nil, fmt.Errorf("transport %q: seed: %w", spec, err)
 				}
 			case "drop":
-				if cfg.DropRate, err = strconv.ParseFloat(v, 64); err != nil {
+				if cfg.DropRate, err = parseRate(v); err != nil {
 					return nil, fmt.Errorf("transport %q: drop: %w", spec, err)
 				}
 			case "dup":
-				if cfg.DupRate, err = strconv.ParseFloat(v, 64); err != nil {
+				if cfg.DupRate, err = parseRate(v); err != nil {
 					return nil, fmt.Errorf("transport %q: dup: %w", spec, err)
 				}
 			case "delayrate":
-				if cfg.DelayRate, err = strconv.ParseFloat(v, 64); err != nil {
+				if cfg.DelayRate, err = parseRate(v); err != nil {
 					return nil, fmt.Errorf("transport %q: delayrate: %w", spec, err)
 				}
 			case "delaymax":
 				if cfg.DelayMax, err = time.ParseDuration(v); err != nil {
 					return nil, fmt.Errorf("transport %q: delaymax: %w", spec, err)
 				}
+				if cfg.DelayMax <= 0 {
+					return nil, fmt.Errorf("transport %q: delaymax %q must be positive", spec, v)
+				}
 			case "corrupt":
-				if cfg.CorruptRate, err = strconv.ParseFloat(v, 64); err != nil {
+				if cfg.CorruptRate, err = parseRate(v); err != nil {
 					return nil, fmt.Errorf("transport %q: corrupt: %w", spec, err)
 				}
 			case "truncate":
-				if cfg.TruncateRate, err = strconv.ParseFloat(v, 64); err != nil {
+				if cfg.TruncateRate, err = parseRate(v); err != nil {
 					return nil, fmt.Errorf("transport %q: truncate: %w", spec, err)
 				}
 			case "unreliable":
@@ -220,12 +232,16 @@ func New(spec string, nodes, fifosPerNode int) (Transport, error) {
 					return nil, fmt.Errorf("transport %q: unreliable: %w", spec, err)
 				}
 			case "scale":
-				if scale, err = strconv.ParseFloat(v, 64); err != nil {
+				if scale, err = parseScale(v); err != nil {
 					return nil, fmt.Errorf("transport %q: scale: %w", spec, err)
 				}
 			case "kill":
 				if cfg.Kills, err = parseKills(v, nodes); err != nil {
 					return nil, fmt.Errorf("transport %q: kill: %w", spec, err)
+				}
+			case "link":
+				if cfg.Links, err = parseLinks(v, inproc.Torus()); err != nil {
+					return nil, fmt.Errorf("transport %q: link: %w", spec, err)
 				}
 			default:
 				return nil, fmt.Errorf("transport %q: unknown option %q", spec, k)
@@ -259,6 +275,9 @@ func parseKills(v string, nodes int) ([]KillEvent, error) {
 		after, err := time.ParseDuration(ds)
 		if err != nil {
 			return nil, fmt.Errorf("kill time %q: %w", ds, err)
+		}
+		if after < 0 {
+			return nil, fmt.Errorf("kill time %q is negative", ds)
 		}
 		kills = append(kills, KillEvent{Rank: rank, After: after})
 	}
@@ -301,7 +320,35 @@ func parseOpts(opts string) (map[string]string, error) {
 		if !ok || k == "" {
 			return nil, fmt.Errorf("malformed option %q (want key=value)", part)
 		}
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("duplicate option %q", k)
+		}
 		kv[k] = v
 	}
 	return kv, nil
+}
+
+// parseRate parses a probability and rejects values outside [0,1].
+func parseRate(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("rate %g outside [0,1]", f)
+	}
+	return f, nil
+}
+
+// parseScale parses a time-scale multiplier and rejects non-positive
+// values (scale=0 would silently disable the contended wrapper).
+func parseScale(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f <= 0 {
+		return 0, fmt.Errorf("scale %g must be positive", f)
+	}
+	return f, nil
 }
