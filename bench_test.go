@@ -21,6 +21,7 @@ import (
 	"blueq/internal/converse"
 	"blueq/internal/fft3d"
 	"blueq/internal/flowctl"
+	"blueq/internal/lb"
 	"blueq/internal/m2m"
 	"blueq/internal/md"
 	"blueq/internal/mdsim"
@@ -97,11 +98,20 @@ func BenchmarkFig4PingPongInterNode(b *testing.B) {
 // and the round count rides an atomic instead of a boxed int payload —
 // boxing a non-tiny int allocates, which would mask pool regressions.
 func runFig5PingPong(b *testing.B, cfg converse.Config) *converse.Machine {
-	b.ReportAllocs()
 	machine, err := converse.NewMachine(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
+	runFig5PingPongOn(b, machine, machine.Run)
+	return machine
+}
+
+// runFig5PingPongOn drives the measured loop on an already-built machine
+// through the given run function — machine.Run for the bare variants, or
+// charm's Runtime.Run when a higher layer (the load balancer) is attached
+// and its element instantiation must happen before the first hop.
+func runFig5PingPongOn(b *testing.B, machine *converse.Machine, run func(main func(pe *converse.PE))) {
+	b.ReportAllocs()
 	var rounds atomic.Int64
 	total := int64(b.N)
 	done := make(chan struct{})
@@ -118,7 +128,7 @@ func runFig5PingPong(b *testing.B, cfg converse.Config) *converse.Machine {
 		_ = pe.Send(1-pe.Id(), r)
 	})
 	b.ResetTimer()
-	machine.Run(func(pe *converse.PE) {
+	run(func(pe *converse.PE) {
 		if pe.Id() == 0 {
 			m0 := pe.NewMessage()
 			m0.Handler = h
@@ -127,7 +137,6 @@ func runFig5PingPong(b *testing.B, cfg converse.Config) *converse.Machine {
 		}
 	})
 	<-done
-	return machine
 }
 
 func BenchmarkFig5PingPongIntraNode(b *testing.B) {
@@ -177,6 +186,30 @@ func BenchmarkFig5PingPongIntraNodeCRC(b *testing.B) {
 			})
 			if !machine.PAMIClient().CRCArmed() {
 				b.Fatal("CRC not armed over the unreliable transport")
+			}
+		})
+	}
+}
+
+// The same intra-node ping-pong with the dynamic load balancer armed in
+// its barrier-free diffusion mode over an idle managed array. The gossip
+// loop ticks throughout the measurement and the per-element load meter is
+// wired into the scheduler, but a balanced machine must pay nothing on
+// the message path: 0 allocs/op within the gate tolerance of the unarmed
+// run, and zero migrations triggered by an imbalance that isn't there.
+func BenchmarkFig5PingPongIntraNodeLB(b *testing.B) {
+	for _, mode := range []converse.Mode{converse.ModeSMP, converse.ModeSMPComm} {
+		b.Run(mode.String(), func(b *testing.B) {
+			rt, err := charm.NewRuntime(converse.Config{Nodes: 1, WorkersPerNode: 2, Mode: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mgr := lb.Attach(rt, lb.Config{Diffusion: true, Period: 500 * time.Microsecond})
+			a := rt.NewArray("lbidle", 2, func(idx int) charm.Element { return &struct{}{} })
+			mgr.Manage(a, -1)
+			runFig5PingPongOn(b, rt.Machine(), rt.Run)
+			if mgr.Moves() != 0 {
+				b.Fatalf("idle balancer migrated %d elements during a balanced ping-pong", mgr.Moves())
 			}
 		})
 	}

@@ -75,11 +75,14 @@ func main() {
 		case "integrity":
 			section("E17: wire+checkpoint integrity and cascading-failure recovery (internal/pami, internal/ft)")
 			integritySection(*seed)
+		case "lb":
+			section("E19: dynamic load balancing — LB off vs centralized vs diffusion (internal/lb)")
+			lbSection(*seed)
 		case "linkft":
 			section("E18: link failures — fail-aware routing, gray links, partitions (internal/torus, internal/ft)")
 			linkftSection(*seed)
 		default:
-			log.Fatalf("unknown -only section %q (want ft, agg, integrity, linkft)", *only)
+			log.Fatalf("unknown -only section %q (want ft, agg, integrity, linkft, lb)", *only)
 		}
 		return
 	}
@@ -170,6 +173,9 @@ func main() {
 
 	section("E18: link failures — fail-aware routing, gray links, partitions (internal/torus, internal/ft)")
 	linkftSection(*seed)
+
+	section("E19: dynamic load balancing — LB off vs centralized vs diffusion (internal/lb)")
+	lbSection(*seed)
 }
 
 // nativeObservability enables the obs instrumentation, drives the native

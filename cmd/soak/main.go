@@ -82,6 +82,7 @@ func main() {
 	corrupt := flag.Float64("corrupt", 0, "packet corruption rate armed on faulty transports (truncation at half the rate)")
 	kills := flag.String("kills", "", "N@DUR chaos schedule for the fft cell: N fail-stops spread DUR apart, asserting bitwise-identical output (e.g. 2@100ms)")
 	links := flag.String("links", "", "N@DUR link-flap schedule for the fft cell: N links failed then healed DUR apart, asserting rerouting with zero rollbacks (e.g. 4@50ms)")
+	lbCell := flag.Bool("lb", false, "add the load-balancer chaos cell: continuous rotating-imbalance migrations with per-phase checkpoints (with -kills, the fail-stops land mid-migration)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary on stdout (cell logs move to stderr); exit status stays non-zero on any invariant failure")
 	flag.Parse()
 
@@ -142,11 +143,17 @@ func main() {
 	switch *workload {
 	case "all":
 		workloads = []string{"flood", "fft", "md"}
-	case "flood", "fft", "md":
+		if *lbCell {
+			workloads = append(workloads, "lb")
+		}
+	case "flood", "fft", "md", "lb":
 		workloads = []string{*workload}
 	default:
 		fmt.Fprintf(os.Stderr, "soak: unknown -workload %q\n", *workload)
 		os.Exit(2)
+	}
+	if *lbCell && *workload != "all" && *workload != "lb" {
+		workloads = append(workloads, "lb")
 	}
 
 	cell := *duration / time.Duration(len(specs)*len(workloads))
@@ -175,6 +182,11 @@ func main() {
 				}
 			case "md":
 				err = runMDSoak(sp, cell, *slow, fcc, agc)
+			case "lb":
+				if ks != nil {
+					name = "lb-kills"
+				}
+				err = runLBSoak(sp, cell, fcc, agc, ks)
 			}
 			rep := cellReport{
 				Workload: name, Transport: sp,

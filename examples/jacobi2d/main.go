@@ -128,7 +128,10 @@ func main() {
 					return
 				}
 				if iter == maxIters/2 {
-					r := tiles.Rebalance(charm.GreedyLB)
+					r, err := tiles.Rebalance(charm.GreedyLB)
+					if err != nil {
+						panic(err)
+					}
 					fmt.Printf("iter %d: GreedyLB migrated %d tiles (max/avg load %.2f)\n",
 						iter, r.Migrations, r.MaxLoad/r.AvgLoad)
 				}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blueq/internal/converse"
 	"blueq/internal/obs"
@@ -31,6 +32,11 @@ type Runtime struct {
 	groups  []*Group
 	started atomic.Bool
 
+	// onRecovery hooks run at the start of BeginRecovery, after the epoch
+	// bump fenced off in-flight messages: layers above the runtime (the
+	// load balancer) reset state keyed to now-dropped messages.
+	onRecovery []func()
+
 	// message accounting for quiescence detection
 	sent atomic.Int64
 	done atomic.Int64
@@ -40,6 +46,12 @@ type Runtime struct {
 	// rolled back (recovery.go). Zero for the whole run when no failure
 	// occurs, so the guard is a single equal-comparison on the hot path.
 	epoch atomic.Uint32
+
+	// migrating counts element blobs in flight between PEs: incremented
+	// when MigrateElement departs an element, decremented when the blob
+	// installs (or is dropped as stale / fenced off by a recovery).
+	// Checkpoints require it to be zero.
+	migrating atomic.Int64
 }
 
 // charmMsg is the wire format of an entry-method invocation.
@@ -58,6 +70,7 @@ const (
 	kindArray msgKind = iota
 	kindGroup
 	kindReduction
+	kindMigrate
 )
 
 // NewRuntime creates a runtime over a fresh Converse machine with the given
@@ -137,6 +150,8 @@ func (rt *Runtime) dispatch(pe *converse.PE, msg *converse.Message) {
 			mReductionMsg.Inc(pe.Id())
 		}
 		rt.arrays[cm.array].reduceArrive(pe, cm.data.(*reductionContribution))
+	case kindMigrate:
+		rt.arrays[cm.array].installMigrated(pe, cm)
 	}
 	rt.done.Add(1)
 }
@@ -192,8 +207,29 @@ type Array struct {
 	home   []int32
 
 	// elems[i] is non-nil on the home PE (single address space: the slice
-	// is global, ownership is logical).
+	// is global, ownership is logical). Written under homeMu once the
+	// runtime starts: migration departs an element (nil) on the old home
+	// and installs it on the new one.
 	elems []Element
+
+	// inc[i] is the element's migration incarnation, bumped at every
+	// departure and stamped into the blob; a duplicated or reordered
+	// migration message whose incarnation does not match the table is
+	// stale and must not install (the epoch-fencing leg of exactly-once
+	// handoff). transit[i] is true while the element's packed state is
+	// between PEs — the new home parks messages instead of executing
+	// them until the blob installs. Both guarded by homeMu.
+	inc     []uint32
+	transit []bool
+
+	// pending buffers messages that reached the new home before the
+	// element's packed state did; installMigrated drains it.
+	pendMu  sync.Mutex
+	pending map[int][]pendingMsg
+
+	// meter, when set, receives per-element wall-clock execution times
+	// from deliver (internal/lb's live load measurement). Set before Run.
+	meter LoadMeter
 
 	// per-element execution time in arbitrary units, for the load balancer.
 	loadMu sync.Mutex
@@ -225,9 +261,12 @@ func (rt *Runtime) NewArrayPlaced(name string, n int, factory func(idx int) Elem
 	}
 	a := &Array{
 		rt: rt, name: name, n: n, factory: factory,
-		home:  make([]int32, n),
-		elems: make([]Element, n),
-		load:  make([]float64, n),
+		home:    make([]int32, n),
+		elems:   make([]Element, n),
+		inc:     make([]uint32, n),
+		transit: make([]bool, n),
+		pending: make(map[int][]pendingMsg),
+		load:    make([]float64, n),
 	}
 	npes := rt.machine.NumPEs()
 	for i := 0; i < n; i++ {
@@ -295,6 +334,14 @@ func (a *Array) HomePE(idx int) int {
 	return int(a.home[idx])
 }
 
+// Homes returns a snapshot of the element-to-PE map (one consistent read
+// of the home table; the load balancer plans against it).
+func (a *Array) Homes() []int32 {
+	a.homeMu.RLock()
+	defer a.homeMu.RUnlock()
+	return append([]int32(nil), a.home...)
+}
+
 // instantiateLocal constructs the elements homed on pe.
 func (a *Array) instantiateLocal(pe *converse.PE) {
 	for i := 0; i < a.n; i++ {
@@ -339,11 +386,34 @@ func (a *Array) Broadcast(pe *converse.PE, entry int, payload any, bytes int) er
 }
 
 // deliver runs the entry method on the element's home PE. A message that
-// raced with a migration and landed on the old home is forwarded, so an
-// element only ever executes on its current home — preserving Charm++'s
-// guarantee that one element never runs on two PEs at once.
+// raced with a migration and landed on the old home is forwarded (the
+// home table is the forwarding pointer), so an element only ever executes
+// on its current home — preserving Charm++'s guarantee that one element
+// never runs on two PEs at once. A message that beats the element's
+// packed state to the new home is parked in the pending buffer and
+// re-enqueued when installMigrated publishes the element. When a load
+// meter is attached, the entry's wall-clock execution time is recorded at
+// the same release-after-execute point the scheduler recycles the
+// envelope from.
 func (a *Array) deliver(pe *converse.PE, cm charmMsg, bytes int) {
-	if home := a.HomePE(cm.idx); home != pe.Id() {
+	a.homeMu.RLock()
+	home := int(a.home[cm.idx])
+	el := a.elems[cm.idx]
+	if home == pe.Id() && a.transit[cm.idx] {
+		// Element in transit to this PE: park the message while still
+		// holding homeMu, so installMigrated (which clears transit under
+		// the write lock before draining) can never miss it.
+		a.pendMu.Lock()
+		a.pending[cm.idx] = append(a.pending[cm.idx], pendingMsg{cm: cm, bytes: bytes})
+		a.pendMu.Unlock()
+		a.homeMu.RUnlock()
+		if obs.On() {
+			mMigBuffered.Inc(pe.Id())
+		}
+		return
+	}
+	a.homeMu.RUnlock()
+	if home != pe.Id() {
 		if obs.On() {
 			mForwarded.Inc(pe.Id())
 		}
@@ -355,7 +425,22 @@ func (a *Array) deliver(pe *converse.PE, cm charmMsg, bytes int) {
 	if obs.On() {
 		mEntryCalls.Inc(cm.entry)
 	}
-	a.entries[cm.entry](pe, a.elems[cm.idx], cm.idx, cm.data)
+	if m := a.meter; m != nil {
+		t0 := time.Now()
+		a.entries[cm.entry](pe, el, cm.idx, cm.data)
+		m.RecordLoad(pe, cm.idx, time.Since(t0).Nanoseconds())
+		return
+	}
+	a.entries[cm.entry](pe, el, cm.idx, cm.data)
+}
+
+// SetLoadMeter attaches a live load meter: deliver reports every entry
+// invocation's wall-clock nanoseconds to it. Must be called before Run.
+func (a *Array) SetLoadMeter(m LoadMeter) {
+	if a.rt.started.Load() {
+		panic("charm: SetLoadMeter after Run")
+	}
+	a.meter = m
 }
 
 // AddLoad records measured work (arbitrary units, e.g. seconds) for element

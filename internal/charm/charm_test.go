@@ -322,7 +322,10 @@ func TestGreedyLBBalancesSkewedLoad(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		a.AddLoad(i, float64(i+1))
 	}
-	res := a.Rebalance(GreedyLB)
+	res, err := a.Rebalance(GreedyLB)
+	if err != nil {
+		t.Fatal(err)
+	}
 	total := 16.0 * 17 / 2
 	avg := total / 4
 	if res.MaxLoad > avg*1.25 {
@@ -344,7 +347,10 @@ func TestRefineLBMovesLittle(t *testing.T) {
 		a.AddLoad(i, 1)
 	}
 	a.AddLoad(0, 3) // element 0 now 4x
-	res := a.Rebalance(RefineLB)
+	res, err := a.Rebalance(RefineLB)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Migrations > 4 {
 		t.Fatalf("refine migrated %d elements for one hot spot", res.Migrations)
 	}
@@ -373,7 +379,9 @@ func TestSendsAfterMigration(t *testing.T) {
 			for i := 0; i < n; i++ {
 				a.AddLoad(i, float64(n-i))
 			}
-			a.Rebalance(GreedyLB)
+			if _, err := a.Rebalance(GreedyLB); err != nil {
+				t.Errorf("rebalance: %v", err)
+			}
 			for i := 0; i < n; i++ {
 				if err := a.Send(pe, i, ePing, nil, 8); err != nil {
 					t.Errorf("send: %v", err)

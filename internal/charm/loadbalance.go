@@ -2,6 +2,7 @@ package charm
 
 import (
 	"container/heap"
+	"fmt"
 	"sort"
 )
 
@@ -21,6 +22,17 @@ const (
 	// until within tolerance, minimizing migrations (Charm++'s RefineLB).
 	RefineLB
 )
+
+// String names the strategy for logs and error messages.
+func (s LBStrategy) String() string {
+	switch s {
+	case GreedyLB:
+		return "GreedyLB"
+	case RefineLB:
+		return "RefineLB"
+	}
+	return fmt.Sprintf("LBStrategy(%d)", int(s))
+}
 
 // LBResult reports what a rebalance did.
 type LBResult struct {
@@ -51,8 +63,17 @@ func (h *peLoadHeap) Pop() any {
 // Rebalance recomputes the element-to-PE map from recorded loads and
 // migrates elements (their state moves by pointer in this single-process
 // model; the home table redirects subsequent sends). Recorded loads are
-// cleared afterwards, starting a fresh measurement window.
-func (a *Array) Rebalance(strategy LBStrategy) LBResult {
+// cleared afterwards, starting a fresh measurement window. An unknown
+// strategy is rejected before any state is touched: the measurement
+// window survives intact and the zero-value LBResult is returned with
+// the error.
+func (a *Array) Rebalance(strategy LBStrategy) (LBResult, error) {
+	switch strategy {
+	case GreedyLB, RefineLB:
+	default:
+		return LBResult{}, fmt.Errorf("charm: array %q rebalance with unknown strategy %v", a.name, strategy)
+	}
+
 	a.loadMu.Lock()
 	loads := append([]float64(nil), a.load...)
 	for i := range a.load {
@@ -88,7 +109,22 @@ func (a *Array) Rebalance(strategy LBStrategy) LBResult {
 		}
 	}
 	res.AvgLoad /= float64(npes)
-	return res
+	return res, nil
+}
+
+// GreedyPlacement computes a GreedyLB element-to-PE map from per-element
+// loads without touching any array: heaviest element to least-loaded PE.
+// internal/lb reuses it as the centralized Greedy strategy.
+func GreedyPlacement(loads []float64, npes int) []int32 {
+	return greedyPlacement(loads, npes)
+}
+
+// RefinePlacement computes a RefineLB map from per-element loads and the
+// current placement, moving as few elements as possible to bring every PE
+// within tolerance. internal/lb reuses it as the centralized Refine
+// strategy.
+func RefinePlacement(loads []float64, oldHome []int32, npes int) []int32 {
+	return refinePlacement(loads, oldHome, npes)
 }
 
 // greedyPlacement implements GreedyLB: heaviest element to least-loaded PE.

@@ -1,0 +1,132 @@
+package charm
+
+import (
+	"reflect"
+	"testing"
+
+	"blueq/internal/converse"
+)
+
+// Edge cases of the placement algorithms and the Rebalance entry point.
+
+// An unknown strategy must be rejected before the measurement window is
+// cleared: recorded loads survive and no element moves.
+func TestRebalanceUnknownStrategyPreservesLoads(t *testing.T) {
+	rt, err := NewRuntime(smallCfg(2, 2, converse.ModeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rt.NewArray("lb", 8, func(idx int) Element { return nil })
+	for i := 0; i < 8; i++ {
+		a.AddLoad(i, float64(i+1))
+	}
+	before := a.Homes()
+	res, err := a.Rebalance(LBStrategy(42))
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if res != (LBResult{}) {
+		t.Fatalf("unknown strategy returned non-zero result %+v", res)
+	}
+	if got := a.Homes(); !reflect.DeepEqual(got, before) {
+		t.Fatalf("unknown strategy moved elements: %v -> %v", before, got)
+	}
+	// The measurement window must be intact: a follow-up GreedyLB still
+	// sees the skew and migrates.
+	res, err = a.Rebalance(GreedyLB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("loads were destroyed by the rejected rebalance: greedy saw nothing to move")
+	}
+}
+
+// All-zero loads: nothing measured, so any placement is as good as any
+// other; the algorithms must terminate and report zero max/avg without
+// dividing by zero or looping.
+func TestRebalanceAllZeroLoads(t *testing.T) {
+	rt, err := NewRuntime(smallCfg(2, 2, converse.ModeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []LBStrategy{GreedyLB, RefineLB} {
+		a := rt.NewArray("zero-"+s.String(), 8, func(idx int) Element { return nil })
+		res, err := a.Rebalance(s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.MaxLoad != 0 || res.AvgLoad != 0 {
+			t.Fatalf("%v: zero loads produced max %v avg %v", s, res.MaxLoad, res.AvgLoad)
+		}
+	}
+}
+
+// A single-PE machine has nowhere to move anything: zero migrations, all
+// load on the one PE.
+func TestRebalanceSinglePE(t *testing.T) {
+	rt, err := NewRuntime(smallCfg(1, 1, converse.ModeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []LBStrategy{GreedyLB, RefineLB} {
+		a := rt.NewArray("one-"+s.String(), 6, func(idx int) Element { return nil })
+		for i := 0; i < 6; i++ {
+			a.AddLoad(i, float64(i+1))
+		}
+		res, err := a.Rebalance(s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res.Migrations != 0 {
+			t.Fatalf("%v migrated %d elements on a single PE", s, res.Migrations)
+		}
+		if want := 21.0; res.MaxLoad != want || res.AvgLoad != want {
+			t.Fatalf("%v: single-PE loads max %v avg %v, want %v", s, res.MaxLoad, res.AvgLoad, want)
+		}
+	}
+}
+
+// RefineLB on an already-balanced array is a no-op: every PE is within
+// the 5% tolerance, so zero migrations.
+func TestRefineLBWithinToleranceNoMigrations(t *testing.T) {
+	rt, err := NewRuntime(smallCfg(2, 2, converse.ModeSMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rt.NewArray("flat", 16, func(idx int) Element { return nil })
+	for i := 0; i < 16; i++ {
+		a.AddLoad(i, 1) // block map: 4 elements x 1.0 per PE, perfectly flat
+	}
+	res, err := a.Rebalance(RefineLB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 {
+		t.Fatalf("refine migrated %d elements of a balanced array", res.Migrations)
+	}
+}
+
+// The placements are deterministic: the same loads produce bitwise the
+// same map on every run — reproducibility the bitwise-identity
+// experiments (E17/E19) build on.
+func TestPlacementDeterministic(t *testing.T) {
+	loads := make([]float64, 32)
+	for i := range loads {
+		loads[i] = float64((i*7919)%13) + 0.25
+	}
+	oldHome := make([]int32, 32)
+	for i := range oldHome {
+		oldHome[i] = int32(i % 4)
+	}
+	g0 := GreedyPlacement(loads, 4)
+	r0 := RefinePlacement(loads, oldHome, 4)
+	for run := 0; run < 10; run++ {
+		if g := GreedyPlacement(loads, 4); !reflect.DeepEqual(g, g0) {
+			t.Fatalf("greedy run %d differs: %v vs %v", run, g, g0)
+		}
+		if r := RefinePlacement(loads, oldHome, 4); !reflect.DeepEqual(r, r0) {
+			t.Fatalf("refine run %d differs: %v vs %v", run, r, r0)
+		}
+	}
+}

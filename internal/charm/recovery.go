@@ -39,15 +39,34 @@ func (rt *Runtime) Epoch() uint32 { return rt.epoch.Load() }
 // surviving PE is executing or holding undelivered current-epoch messages
 // — internal/ft does so by halting the dead node and waiting for survivor
 // quiescence. Returns the new epoch.
+// OnRecovery registers a hook invoked at the start of every recovery
+// rollback, after the epoch bump has fenced off in-flight messages.
+// Layers that track those messages (the load balancer's outstanding
+// migrate commands) reset here. Register before Run.
+func (rt *Runtime) OnRecovery(fn func()) {
+	rt.mu.Lock()
+	rt.onRecovery = append(rt.onRecovery, fn)
+	rt.mu.Unlock()
+}
+
 func (rt *Runtime) BeginRecovery() uint32 {
 	e := rt.epoch.Add(1)
 	rt.sent.Store(0)
 	rt.done.Store(0)
+	rt.migrating.Store(0)
 	rt.mu.Lock()
 	arrays := append([]*Array(nil), rt.arrays...)
+	hooks := append([]func(){}, rt.onRecovery...)
 	rt.mu.Unlock()
+	for _, hook := range hooks {
+		hook()
+	}
 	for _, a := range arrays {
 		a.resetReductions()
+		// Messages parked for in-transit elements wait on migration blobs
+		// the epoch bump just fenced off; RestoreElement reinstates every
+		// element from the checkpoint, so the parked copies are stale.
+		a.resetMigrationState()
 	}
 	return e
 }
@@ -85,6 +104,7 @@ func (a *Array) RestoreElement(idx, newHome int, blob []byte) error {
 	a.homeMu.Lock()
 	a.elems[idx] = el
 	a.home[idx] = int32(newHome)
+	a.transit[idx] = false
 	a.homeMu.Unlock()
 	if obs.On() {
 		mRestored.Inc(newHome)

@@ -119,6 +119,17 @@ func (n *SMPNode) onAggBatch(src int, data any, bytes int) {
 // is not configured.
 func (n *SMPNode) Aggregator() *aggregate.Aggregator { return n.agg }
 
+// FlushAggregation flushes this node's open per-destination batch
+// buffers. Element migration uses it so a message to the departing
+// element buffered on its node reaches the wire before the home flips —
+// a targeted form of Machine.FlushAggregation. No-op when aggregation is
+// off.
+func (n *SMPNode) FlushAggregation() {
+	if n.agg != nil {
+		n.agg.FlushAll(aggregate.FlushExplicit)
+	}
+}
+
 // AggregationOn reports whether the aggregation layer is armed.
 func (m *Machine) AggregationOn() bool {
 	return len(m.nodes) > 0 && m.nodes[0].agg != nil

@@ -1,6 +1,7 @@
 package ft
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
@@ -175,6 +176,13 @@ type ckptRound struct {
 	cont  func(pe *converse.PE)
 }
 
+// ErrRecovering is returned by Checkpoint when a recovery owns (or is
+// about to own) the epoch: a pass is running, or a confirmed death has
+// not yet been recovered. It is a benign refusal — the recovery pass
+// takes its own checkpoint and restarts the application through the
+// restore hook, so the caller drops its attempt rather than retrying.
+var ErrRecovering = errors.New("ft: recovery in progress; it checkpoints before resuming")
+
 // registerGroup declares the coordination chare group and its entries.
 func (mgr *Manager) registerGroup() {
 	mgr.grp = mgr.rt.NewGroup("ft", func(pe int) charm.Element { return struct{}{} })
@@ -201,7 +209,7 @@ func (mgr *Manager) CheckpointDue() bool {
 // is — the recovery pass takes its own checkpoint before resuming.
 func (mgr *Manager) Checkpoint(pe *converse.PE, cont func(pe *converse.PE)) error {
 	if mgr.recovering.Load() {
-		return fmt.Errorf("ft: recovery in progress; it checkpoints before resuming")
+		return ErrRecovering
 	}
 	var app []byte
 	if pack, _ := mgr.appHooks(); pack != nil {
@@ -216,6 +224,26 @@ func (mgr *Manager) Checkpoint(pe *converse.PE, cont func(pe *converse.PE)) erro
 // fresh app state would snapshot a cursor ahead of the elements.
 func (mgr *Manager) checkpointWithApp(pe *converse.PE, app []byte, cont func(pe *converse.PE)) error {
 	live := mgr.liveNodes()
+	// A round packs each element on its home PE and commits on the live
+	// set's acks. An element homed on a node outside that set — a death
+	// confirmed but not yet recovered, or a migration blob fenced off with
+	// its destination — would land in no batch, and the epoch would
+	// commit silently missing it: a later rollback to it is unrecoverable.
+	// Refuse instead; the recovery pass re-homes and checkpoints before
+	// the application resumes. (A death landing after this check merely
+	// stalls the round — the dead node's acks never arrive, nothing
+	// commits, and recovery rolls back to the previous complete epoch.)
+	inLive := make(map[int]bool, len(live))
+	for _, r := range live {
+		inLive[r] = true
+	}
+	for _, a := range mgr.protectedArrays() {
+		for idx := 0; idx < a.Len(); idx++ {
+			if !inLive[mgr.nodeOf(a.HomePE(idx))] {
+				return ErrRecovering
+			}
+		}
+	}
 	leader := mgr.leaderPE()
 	mgr.ckptMu.Lock()
 	if mgr.round != nil {

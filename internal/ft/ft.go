@@ -286,10 +286,22 @@ func (mgr *Manager) Stats() Stats {
 	}
 }
 
-// Recovering reports whether a recovery pass currently owns the epoch.
-// External checkpoint drivers use it to tell a benign Checkpoint refusal
-// (recovery will checkpoint before resuming) from a real error.
-func (mgr *Manager) Recovering() bool { return mgr.recovering.Load() }
+// Recovering reports whether a recovery owns (or is about to own) the
+// epoch: a pass is running, or a node is confirmed dead and its pass has
+// not yet dropped it. External checkpoint drivers use it to tell a benign
+// Checkpoint refusal (recovery will checkpoint before resuming) from a
+// real error.
+func (mgr *Manager) Recovering() bool {
+	if mgr.recovering.Load() {
+		return true
+	}
+	for r := 0; r < mgr.m.NumNodes(); r++ {
+		if mgr.m.NodeDead(r) && !mgr.dropped[r].Load() {
+			return true
+		}
+	}
+	return false
+}
 
 // UnrecoverableErr returns the error reported through OnUnrecoverable, or
 // nil while the manager still considers the run recoverable.

@@ -1,0 +1,190 @@
+package lb
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blueq/internal/charm"
+	"blueq/internal/converse"
+	"blueq/internal/ft"
+	"blueq/internal/transport"
+)
+
+// lbftResult captures one LB+ft run: final (iterations, sum) per element
+// plus the ft and lb counters.
+type lbftResult struct {
+	states [][2]uint64
+	stats  ft.Stats
+	moves  int64
+}
+
+// runLBFT drives the skewed workload with both managers attached: initial
+// checkpoint, warmup iterations, a centralized LB pass, settle, a second
+// checkpoint of the migrated layout, then the remaining iterations. When
+// kill is set, a PE is fail-stopped immediately after the LB pass issues
+// its migration commands — blobs are on the wire when the node dies —
+// and recovery must roll back to the last committed epoch and replay.
+func runLBFT(t *testing.T, kill bool) lbftResult {
+	t.Helper()
+	const nodes, nelems = 4, 8
+	const warmup, total = 5, 12
+	tr, err := transport.New("faulty:seed=3", nodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	rt, err := charm.NewRuntime(converse.Config{
+		Nodes: nodes, WorkersPerNode: 1, Mode: converse.ModeSMP, Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftm := ft.New(rt, ft.Config{
+		HeartbeatInterval: 3 * time.Millisecond,
+		SuspectAfter:      90 * time.Millisecond,
+		ProbeTimeout:      150 * time.Millisecond,
+	})
+	mgr := Attach(rt, Config{Strategy: Greedy{}})
+
+	var a *charm.Array
+	var eWork int
+	var arrived, done, gen atomic.Int64
+	var killOnce sync.Once
+	a = rt.NewArray("ftlb", nelems, func(idx int) charm.Element { return &workElem{} })
+
+	resume := func(pe *converse.PE) {
+		if err := a.Broadcast(pe, eWork, nil, 8); err != nil {
+			t.Errorf("resume broadcast: %v", err)
+			rt.Shutdown()
+		}
+	}
+
+	// afterBalance settles the in-flight blobs and checkpoints the
+	// migrated layout, off the scheduler: blocking a worker PE in
+	// SettleMigrations would deadlock against blob installs destined for
+	// it. The generation stamp voids the continuation if a recovery
+	// restarts the run while we wait — the restore hook re-drives
+	// everything itself.
+	afterBalance := func(pe *converse.PE) {
+		g := gen.Load()
+		go func() {
+			if err := mgr.SettleMigrations(20 * time.Second); err != nil && gen.Load() == g {
+				t.Errorf("settle: %v", err)
+				rt.Shutdown()
+				return
+			}
+			if gen.Load() != g {
+				return
+			}
+			if err := ftm.Checkpoint(pe, func(pe *converse.PE) {
+				if gen.Load() == g {
+					resume(pe)
+				}
+			}); err != nil {
+				// A kill racing this checkpoint aborts the round; the
+				// recovery's restore hook restarts the run, so only a
+				// failure with no recovery behind it is an error — the
+				// watchdog converts that into a visible hang.
+				t.Logf("post-balance checkpoint: %v", err)
+			}
+		}()
+	}
+
+	eWork = a.Entry(func(pe *converse.PE, elem charm.Element, idx int, _ any) {
+		w := elem.(*workElem)
+		if w.iter >= total {
+			return // a replayed resume reached an element that already finished
+		}
+		if idx < 2 {
+			time.Sleep(3 * time.Millisecond)
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+		w.iter++
+		w.sum += uint64(idx+1) * w.iter
+		switch {
+		case w.iter == warmup:
+			if arrived.Add(1) == nelems {
+				mgr.RunCentral(pe)
+				if kill {
+					killOnce.Do(func() { ftm.KillPE(3) })
+				}
+				afterBalance(pe)
+			}
+		case w.iter >= total:
+			if done.Add(1) == nelems {
+				rt.Shutdown()
+			}
+		default:
+			if err := a.Send(pe, idx, eWork, nil, 8); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	})
+
+	ftm.Protect(a)
+	ftm.SetAppState(
+		func() []byte { return nil },
+		func(pe *converse.PE, _ []byte) {
+			arrived.Store(0)
+			done.Store(0)
+			gen.Add(1)
+			resume(pe)
+		})
+	mgr.Manage(a, -1)
+
+	watchdog := time.AfterFunc(60*time.Second, func() {
+		t.Error("run wedged; shutting down")
+		rt.Shutdown()
+	})
+	defer watchdog.Stop()
+	rt.Run(func(pe *converse.PE) {
+		if err := ftm.Checkpoint(pe, func(pe *converse.PE) { resume(pe) }); err != nil {
+			t.Errorf("initial checkpoint: %v", err)
+			rt.Shutdown()
+		}
+	})
+
+	res := lbftResult{stats: ftm.Stats(), moves: mgr.Moves()}
+	for idx := 0; idx < nelems; idx++ {
+		w := a.Element(idx).(*workElem)
+		res.states = append(res.states, [2]uint64{w.iter, w.sum})
+	}
+	return res
+}
+
+// A checkpoint taken after migrations settle protects the migrated
+// layout, and a PE killed with migration blobs in flight recovers to
+// exactly one live copy of every element: the final states are bitwise
+// identical to the failure-free run.
+func TestLBCheckpointAndKillMidMigration(t *testing.T) {
+	const total = 12
+	ref := runLBFT(t, false)
+	if ref.stats.Recoveries != 0 || ref.stats.Confirmations != 0 {
+		t.Fatalf("reference run saw failures: %+v", ref.stats)
+	}
+	if ref.stats.Checkpoints < 2 {
+		t.Fatalf("reference run committed %d checkpoints, want >= 2 (initial + post-balance)", ref.stats.Checkpoints)
+	}
+	if ref.moves == 0 {
+		t.Fatal("reference run migrated nothing")
+	}
+	for idx, s := range ref.states {
+		if s[0] != total || s[1] != wantWorkSum(idx, total) {
+			t.Fatalf("reference element %d state = %v, want [%d %d]", idx, s, total, wantWorkSum(idx, total))
+		}
+	}
+
+	got := runLBFT(t, true)
+	if got.stats.Recoveries != 1 {
+		t.Fatalf("ft/recoveries = %d, want 1 (stats %+v)", got.stats.Recoveries, got.stats)
+	}
+	for idx := range ref.states {
+		if got.states[idx] != ref.states[idx] {
+			t.Errorf("element %d state %v differs from no-fault reference %v (lost or duplicated copy across the kill)",
+				idx, got.states[idx], ref.states[idx])
+		}
+	}
+}

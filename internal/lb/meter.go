@@ -1,0 +1,85 @@
+package lb
+
+import (
+	"sync/atomic"
+	"time"
+
+	"blueq/internal/converse"
+)
+
+// Meter is the live load measurement: one EWMA-smoothed execution-time
+// cell per element, fed by charm's deliver at the same
+// release-after-execute point the scheduler recycles envelopes from.
+// RecordLoad is allocation-free and lock-free — a fixed array of atomics,
+// one load/store pair per sample; a sample lost to a racing writer costs
+// one step of smoothing, nothing more (the ft detector's interval
+// estimator makes the same trade). The EWMA (alpha = 1/8) is the
+// measurement window: old load decays exponentially, so a migrated-away
+// element stops weighing on its old PE within a few samples.
+type Meter struct {
+	cells []paddedCell
+	total []paddedCell // cumulative ns per element since last Reset
+	mgr   *Manager
+}
+
+// paddedCell keeps neighbouring elements' counters off one cache line;
+// elements executing on different PEs would otherwise false-share.
+type paddedCell struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// NewMeter builds a meter for n elements, reporting into mgr's diffusion
+// machinery when one is armed (mgr may be nil for standalone use).
+func NewMeter(n int, mgr *Manager) *Meter {
+	return &Meter{cells: make([]paddedCell, n), total: make([]paddedCell, n), mgr: mgr}
+}
+
+// RecordLoad implements charm.LoadMeter: fold one execution time into the
+// element's EWMA and cumulative window, then give the diffusion layer its
+// periodic chance to act from this PE.
+func (m *Meter) RecordLoad(pe *converse.PE, idx int, ns int64) {
+	c := &m.cells[idx].v
+	old := c.Load()
+	if old == 0 {
+		c.Store(ns)
+	} else {
+		c.Store(old + (ns-old)/8)
+	}
+	m.total[idx].v.Add(ns)
+	if m.mgr != nil && m.mgr.cfg.Diffusion {
+		m.mgr.diffusionTick(pe, m, idx)
+	}
+}
+
+// Load returns the element's smoothed execution time in ns.
+func (m *Meter) Load(idx int) int64 { return m.cells[idx].v.Load() }
+
+// WindowTotal returns the element's cumulative measured ns since the last
+// Reset — what the centralized strategies plan from (total work, not
+// per-message cost, is what must spread evenly).
+func (m *Meter) WindowTotal(idx int) int64 { return m.total[idx].v.Load() }
+
+// Snapshot appends every element's window total (as float64 ns) to dst
+// and returns it; pass nil to allocate.
+func (m *Meter) Snapshot(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, 0, len(m.total))
+	}
+	for i := range m.total {
+		dst = append(dst, float64(m.total[i].v.Load()))
+	}
+	return dst
+}
+
+// Reset starts a fresh measurement window (cumulative totals only — the
+// EWMA keeps its smoothing history, mirroring Charm++'s LB database
+// refresh).
+func (m *Meter) Reset() {
+	for i := range m.total {
+		m.total[i].v.Store(0)
+	}
+}
+
+// nowNS is time.Now().UnixNano(), separated for clarity at call sites.
+func nowNS() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,16 @@
+package lb
+
+import "blueq/internal/obs"
+
+// lb/* observability, guarded by obs.On() at every call site. The
+// migration mechanics themselves (counts, bytes, stale drops, parked
+// messages, latency histogram) are instrumented where they live, in
+// internal/charm's migrate.go — also under the lb subsystem.
+var (
+	obsAtSync     = obs.NewCounter("lb", "atsync_arrivals_total", 0)
+	obsRounds     = obs.NewCounter("lb", "central_rounds_total", 0)
+	obsPlanned    = obs.NewCounter("lb", "planned_moves_total", 0)
+	obsStaleCmd   = obs.NewCounter("lb", "stale_commands_total", 0)
+	obsDiffMove   = obs.NewCounter("lb", "diffusion_moves_total", 0)
+	obsGossipSent = obs.NewCounter("lb", "gossip_sent_total", 0)
+)
